@@ -1,0 +1,212 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation, running reduced-budget (Quick) versions of the experiment
+// harnesses so a full `go test -bench=.` completes in minutes. The
+// full-fidelity artifacts are produced by cmd/bwap-experiments.
+package bwap_test
+
+import (
+	"testing"
+
+	"bwap/internal/core"
+	"bwap/internal/experiments"
+	"bwap/internal/mm"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+func BenchmarkFig1aBandwidthMatrix(b *testing.B) {
+	p := experiments.MachineA()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := experiments.RunFig1a(p)
+		if len(f.Matrix) != 8 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+func BenchmarkFig1bOfflineSearch(b *testing.B) {
+	p := experiments.MachineA().Quick()
+	p.SearchBudget = 24
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig1b(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Characterization(b *testing.B) {
+	p := experiments.MachineB().Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2CoScheduledMachineA(b *testing.B) {
+	p := experiments.MachineA().Quick()
+	p.Seeds = 1
+	for i := 0; i < b.N; i++ {
+		for _, nw := range []int{1, 2, 4} {
+			if _, err := experiments.RunCoScheduled(p, nw, "fig2"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3abCoScheduledMachineB(b *testing.B) {
+	p := experiments.MachineB().Quick()
+	p.Seeds = 1
+	for i := 0; i < b.N; i++ {
+		for _, nw := range []int{1, 2} {
+			if _, err := experiments.RunCoScheduled(p, nw, "fig3"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3cdStandalone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []*experiments.Profile{experiments.MachineA().Quick(), experiments.MachineB().Quick()} {
+			p.Seeds = 1
+			if _, err := experiments.RunStandalone(p, "fig3cd"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2DWPSearch(b *testing.B) {
+	p := experiments.MachineB().Quick()
+	p.Seeds = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(p, []int{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4DWPSweep(b *testing.B) {
+	p := experiments.MachineA().Quick()
+	p.Seeds = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(p, []int{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverheadAnalysis(b *testing.B) {
+	p := experiments.MachineA().Quick()
+	p.Seeds = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOverhead(p, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationKernelVsUser(b *testing.B) {
+	p := experiments.MachineA().Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunKernelVsUserAblation(p, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationCanonicalTuner measures bwap vs bwap-uniform (the
+// canonical tuner's contribution) on the strongly asymmetric machine.
+func BenchmarkAblationCanonicalTuner(b *testing.B) {
+	p := experiments.MachineA().Quick()
+	p.Seeds = 1
+	ws, err := p.Workers(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := workload.ByName("FT.C")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []string{"bwap-uniform", "bwap"} {
+			if _, err := p.Run(spec, ws, pol, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHybridMemory exercises the Section VI hybrid-memory
+// future-work scenario: canonical weighting vs uniform-all on DRAM+NVRAM.
+func BenchmarkAblationHybridMemory(b *testing.B) {
+	m := topology.HybridDRAMNVRAM(2, 2, 8, 24, 6)
+	cfg := sim.Config{Seed: 31}
+	ct := core.NewCanonicalTuner(m, cfg)
+	spec := workload.Synthetic("stream", 60, 0, 0, 0.1)
+	spec.WorkGB = 150
+	workers := []topology.NodeID{0, 1}
+	for i := 0; i < b.N; i++ {
+		for _, placer := range []sim.Placer{
+			core.StaticDWP{Uniform: true, DWP: 0, UserLevel: true},
+			core.StaticDWP{Canonical: ct, DWP: 0, UserLevel: true},
+		} {
+			e := sim.New(m, cfg)
+			if _, err := e.AddApp("stream", spec, workers, placer); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineTickThroughput measures raw simulator speed: simulated
+// seconds per wall second for a fully loaded co-scheduled Machine A.
+func BenchmarkEngineTickThroughput(b *testing.B) {
+	m := topology.MachineA()
+	spec := workload.OceanCP
+	spec.WorkGB = 1e9 // never finishes; we bound by MaxTime
+	for i := 0; i < b.N; i++ {
+		e := sim.New(m, sim.Config{MaxTime: 10, DemandFactor: 1.3})
+		if _, err := e.AddApp("oc", spec, []topology.NodeID{0, 1, 2, 3}, policyUniformAll{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type policyUniformAll struct{}
+
+func (policyUniformAll) Name() string { return "uniform-all" }
+func (policyUniformAll) Place(e *sim.Engine, a *sim.App) error {
+	all := make([]topology.NodeID, e.M.NumNodes())
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	for _, seg := range a.Segments() {
+		if err := seg.Mbind(0, seg.Length(), all, mm.MoveFlag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkDynamicReTuning measures the Section VI extension experiment.
+func BenchmarkDynamicReTuning(b *testing.B) {
+	p := experiments.MachineB().Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDynamicExtension(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package bwap_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bwap"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	m := bwap.MachineB()
+	workers, err := bwap.BestWorkerSet(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bwap.Streamcluster().Scaled(0.05)
+	ct := bwap.NewCanonicalTuner(m, bwap.Config{})
+	res, err := bwap.RunStandalone(m, bwap.Config{}, spec, workers, bwap.NewBWAP(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("quickstart run timed out")
+	}
+	if tt := res.Times["SC"]; tt <= 0 || math.IsInf(tt, 0) {
+		t.Fatalf("SC time = %v", tt)
+	}
+}
+
+func TestPublicPolicyComparison(t *testing.T) {
+	m := bwap.MachineA()
+	workers, _ := bwap.BestWorkerSet(m, 2)
+	spec := bwap.Streamcluster().Scaled(0.05)
+	var firstTouch, uniform float64
+	for _, tc := range []struct {
+		placer bwap.Placer
+		out    *float64
+	}{
+		{bwap.FirstTouch(), &firstTouch},
+		{bwap.UniformAll(), &uniform},
+	} {
+		res, err := bwap.RunStandalone(m, bwap.Config{}, spec, workers, tc.placer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*tc.out = res.Times["SC"]
+	}
+	if uniform >= firstTouch {
+		t.Fatalf("uniform-all (%v) not faster than first-touch (%v) for a BW-bound app", uniform, firstTouch)
+	}
+}
+
+func TestPublicCoScheduled(t *testing.T) {
+	m := bwap.MachineB()
+	workers, _ := bwap.BestWorkerSet(m, 2)
+	best := bwap.Streamcluster().Scaled(0.05)
+	res, err := bwap.RunCoScheduled(m, bwap.Config{}, bwap.SwaptionsSpec(), best, workers, bwap.NewBWAPUniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.AvgStallRate["Swaptions"]; !ok {
+		t.Fatal("co-runner stall rate missing")
+	}
+	// Whole-machine worker set must be rejected.
+	all, _ := bwap.BestWorkerSet(m, 4)
+	if _, err := bwap.RunCoScheduled(m, bwap.Config{}, bwap.SwaptionsSpec(), best, all, bwap.UniformAll()); err == nil {
+		t.Fatal("no-room co-schedule accepted")
+	}
+}
+
+func TestPublicCustomMachineAndWorkload(t *testing.T) {
+	m, err := bwap.FromMatrix(bwap.MatrixSpec{
+		Name:           "custom",
+		BW:             [][]float64{{20, 8}, {8, 20}},
+		CoresPerNode:   4,
+		MemoryPerNode:  1 << 30,
+		LocalLatencyNs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bwap.SyntheticWorkload("probe", 10, 2, 0.5, 0.1)
+	spec.WorkGB = 20
+	res, err := bwap.RunStandalone(m, bwap.Config{}, spec, []bwap.NodeID{0}, bwap.UniformWorkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Times["probe"] <= 0 {
+		t.Fatal("no completion time")
+	}
+}
+
+func TestPublicWorkloadLookup(t *testing.T) {
+	if len(bwap.Benchmarks()) != 5 {
+		t.Fatal("benchmark suite wrong size")
+	}
+	if _, err := bwap.WorkloadByName("FT.C"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bwap.WorkloadByName("bogus"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPublicTunerIntrospection(t *testing.T) {
+	m := bwap.MachineB()
+	workers, _ := bwap.BestWorkerSet(m, 1)
+	b := bwap.NewBWAPUniform()
+	spec := bwap.SyntheticWorkload("lat", 6, 0, 0, 1.0)
+	spec.WorkGB = 150
+	if _, err := bwap.RunStandalone(m, bwap.Config{}, spec, workers, b); err != nil {
+		t.Fatal(err)
+	}
+	tuner := b.TunerFor("lat")
+	if tuner == nil {
+		t.Fatal("tuner not recorded")
+	}
+	if len(tuner.Trajectory()) == 0 {
+		t.Fatal("no measurements recorded")
+	}
+	if tuner.AppliedDWP() < 0.5 {
+		t.Fatalf("latency-bound app should climb: DWP %v", tuner.AppliedDWP())
+	}
+}
+
+func TestPublicMachineConstructors(t *testing.T) {
+	if m := bwap.MachineA(); m.NumNodes() != 8 {
+		t.Fatal("MachineA wrong shape")
+	}
+	if m := bwap.Symmetric(4, 4, 20, 10); m.BWAmplitude() != 2 {
+		t.Fatal("Symmetric wrong amplitude")
+	}
+	if m := bwap.HybridDRAMNVRAM(2, 2, 8, 24, 6); m.NumNodes() != 4 {
+		t.Fatal("Hybrid wrong shape")
+	}
+}
+
+func TestPublicAllPolicies(t *testing.T) {
+	m := bwap.MachineB()
+	workers, _ := bwap.BestWorkerSet(m, 2)
+	spec := bwap.Streamcluster().Scaled(0.02)
+	weights := []float64{0.4, 0.3, 0.2, 0.1}
+	for _, placer := range []bwap.Placer{
+		bwap.FirstTouch(),
+		bwap.UniformWorkers(),
+		bwap.UniformAll(),
+		bwap.AutoNUMA(),
+		bwap.StaticWeighted(weights),
+	} {
+		res, err := bwap.RunStandalone(m, bwap.Config{}, spec, workers, placer)
+		if err != nil {
+			t.Fatalf("%s: %v", placer.Name(), err)
+		}
+		if res.Times["SC"] <= 0 {
+			t.Fatalf("%s: no completion", placer.Name())
+		}
+	}
+}
+
+func TestPublicRemainingNodes(t *testing.T) {
+	m := bwap.MachineA()
+	workers, _ := bwap.BestWorkerSet(m, 3)
+	rest := bwap.RemainingNodes(m, workers)
+	if len(workers)+len(rest) != m.NumNodes() {
+		t.Fatal("node partition broken")
+	}
+}
+
+func TestPublicMAPIAndPhaseDetection(t *testing.T) {
+	m := bwap.MachineB()
+	workers, _ := bwap.BestWorkerSet(m, 1)
+	spec := bwap.Streamcluster().Scaled(0.02)
+	e := bwap.NewEngine(m, bwap.Config{})
+	app, err := e.AddApp("SC", spec, workers, bwap.UniformAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := bwap.NewPhaseDetector(app)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bwap.MemoryIntensive(app, 0) {
+		t.Fatal("SC must classify memory-intensive")
+	}
+	det.Observe(e.Now()) // detector usable through the façade
+}
+
+func TestPublicAutoDetectStablePhasePolicy(t *testing.T) {
+	m := bwap.MachineB()
+	workers, _ := bwap.BestWorkerSet(m, 1)
+	spec := bwap.SyntheticWorkload("lat", 6, 0, 0, 1.0)
+	spec.WorkGB = 120
+	spec = spec.WithInitPhase(1.5, 0.2)
+	b := bwap.NewBWAPUniform()
+	b.AutoDetectStablePhase = true
+	if _, err := bwap.RunStandalone(m, bwap.Config{}, spec, workers, b); err != nil {
+		t.Fatal(err)
+	}
+	if tuner := b.TunerFor("lat"); tuner == nil || len(tuner.Trajectory()) == 0 {
+		t.Fatal("auto-detected tuner did not run")
+	}
+}
+
+func TestPublicDynamicBWAP(t *testing.T) {
+	m := bwap.MachineB()
+	workers, _ := bwap.BestWorkerSet(m, 1)
+	spec := bwap.SyntheticWorkload("phasey", 50, 0, 0, 0.5)
+	spec.WorkGB = 400
+	spec.Phases = []bwap.WorkloadPhase{
+		{AtWorkFraction: 0, DemandFactor: 1, LatencyFactor: 0.05},
+		{AtWorkFraction: 0.5, DemandFactor: 0.1, LatencyFactor: 2},
+	}
+	ct := bwap.NewCanonicalTuner(m, bwap.Config{})
+	d := bwap.NewDynamicBWAP(ct)
+	// Short sampling periods so both the phase-1 search and the re-tune
+	// fit in this compressed run.
+	d.Params = bwap.Params{N: 5, C: 1, T: 0.1, Step: 0.1, NoiseRel: 0.02}
+	res, err := bwap.RunStandalone(m, bwap.Config{}, spec, workers, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("dynamic run timed out")
+	}
+	tuner := d.TunerFor("phasey")
+	if tuner == nil {
+		t.Fatal("no re-tuner")
+	}
+	if tuner.ReTuneCount == 0 {
+		t.Fatal("phase change not followed")
+	}
+}
+
+// Example demonstrates the end-to-end BWAP flow on the paper's Machine A.
+func Example() {
+	m := bwap.MachineA()
+	workers, _ := bwap.BestWorkerSet(m, 2)
+	ct := bwap.NewCanonicalTuner(m, bwap.Config{})
+	weights, _ := ct.Weights(workers)
+	fmt.Printf("workers %v get the largest canonical weights: %.2f %.2f\n",
+		workers, weights[workers[0]], weights[workers[1]])
+	// Output:
+	// workers [0 1] get the largest canonical weights: 0.26 0.26
+}

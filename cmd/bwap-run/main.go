@@ -1,0 +1,77 @@
+// bwap-run deploys a single benchmark on a simulated machine under a
+// chosen page-placement policy and reports completion time, throughput,
+// stall rate, migration volume and the final per-node page distribution.
+//
+// Usage:
+//
+//	bwap-run -machine A -bench SC -policy bwap -workers 2
+//	bwap-run -machine A -bench FT.C -policy uniform-all -workers 1 -cosched
+//	bwap-run -machine B -bench SP.B -policy first-touch -workers 1 -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bwap/internal/experiments"
+	"bwap/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "A", "A or B")
+	bench := flag.String("bench", "SC", "SC, OC, ON, SP.B or FT.C")
+	policyName := flag.String("policy", "bwap", strings.Join(experiments.PolicyNames, ", "))
+	workers := flag.Int("workers", 2, "worker-node count (AsymSched picks which nodes)")
+	coSched := flag.Bool("cosched", false, "co-schedule Swaptions on the remaining nodes")
+	scale := flag.Float64("scale", 0, "override the profile's work-volume scale (0 = profile default)")
+	flag.Parse()
+
+	var p *experiments.Profile
+	switch strings.ToUpper(*machine) {
+	case "A":
+		p = experiments.MachineA()
+	case "B":
+		p = experiments.MachineB()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	if *scale > 0 {
+		p.WorkScale = *scale
+	}
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ws, err := p.Workers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	r, err := p.Run(spec, ws, *policyName, *coSched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	scenario := "stand-alone"
+	if *coSched {
+		scenario = "co-scheduled with Swaptions"
+	}
+	fmt.Printf("%s on %s, %d worker node(s) %v, policy %s (%s)\n",
+		spec.Name, p.Name, *workers, ws, *policyName, scenario)
+	fmt.Printf("  completion time : %8.2f s\n", r.Time)
+	fmt.Printf("  avg stall rate  : %8.3f Gcycles/s\n", r.StallRate/1e9)
+	fmt.Printf("  pages migrated  : %8.2f GB\n", r.MigratedGB)
+	if *coSched {
+		fmt.Printf("  co-runner stall : %8.3f Gcycles/s\n", r.CoRunnerStallRate/1e9)
+	}
+	if !strings.HasPrefix(*policyName, "bwap") {
+		return
+	}
+	fmt.Printf("  DWP chosen      : %8.0f%% (applied %.0f%%)\n", r.BestDWP*100, r.AppliedDWP*100)
+}

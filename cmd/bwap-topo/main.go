@@ -1,0 +1,96 @@
+// bwap-topo prints the simulated NUMA machines: the measured node-to-node
+// bandwidth matrix (the Figure 1a view), the synthesized latency matrix,
+// the bandwidth amplitude, and the canonical weight distributions BWAP's
+// offline tuner derives for representative worker sets.
+//
+// Usage:
+//
+//	bwap-topo -machine A
+//	bwap-topo -machine B -workers 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bwap/internal/core"
+	"bwap/internal/memsys"
+	"bwap/internal/sched"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+)
+
+func main() {
+	machine := flag.String("machine", "A", "A (8-node Opteron) or B (4-node Xeon CoD)")
+	workers := flag.Int("workers", 2, "worker-set size for the canonical weight report")
+	flag.Parse()
+
+	var m *topology.Machine
+	switch strings.ToUpper(*machine) {
+	case "A":
+		m = topology.MachineA()
+	case "B":
+		m = topology.MachineB()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q (want A or B)\n", *machine)
+		os.Exit(2)
+	}
+
+	fmt.Println(m)
+	fmt.Printf("bandwidth amplitude (max/min): %.1fx\n\n", m.BWAmplitude())
+
+	fmt.Println("measured pairwise bandwidth (GB/s), single stream:")
+	sys := memsys.New(m, memsys.DefaultConfig())
+	printMatrix(sys.MeasuredMatrix(), "%6.1f")
+
+	fmt.Println("\nuncontended latency (ns):")
+	n := m.NumNodes()
+	lat := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		lat[s] = make([]float64, n)
+		for d := 0; d < n; d++ {
+			lat[s][d] = m.LatencyNs(topology.NodeID(s), topology.NodeID(d))
+		}
+	}
+	printMatrix(lat, "%6.0f")
+
+	ws, err := sched.BestWorkerSet(m, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ct := core.NewCanonicalTuner(m, sim.Config{})
+	weights, err := ct.Weights(ws)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nAsymSched worker set for %d node(s): %v\n", *workers, ws)
+	fmt.Printf("canonical weights (Eq. 5 over profiled min-BW):\n")
+	for i, w := range weights {
+		marker := ""
+		for _, wn := range ws {
+			if topology.NodeID(i) == wn {
+				marker = "  <- worker"
+			}
+		}
+		fmt.Printf("  N%d: %6.3f%s\n", i+1, w, marker)
+	}
+}
+
+func printMatrix(mx [][]float64, cell string) {
+	fmt.Print("src\\dst")
+	for d := range mx {
+		fmt.Printf("   N%-3d", d+1)
+	}
+	fmt.Println()
+	for s, row := range mx {
+		fmt.Printf("  N%-4d", s+1)
+		for _, v := range row {
+			fmt.Printf(" "+cell, v)
+		}
+		fmt.Println()
+	}
+}

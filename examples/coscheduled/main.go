@@ -1,0 +1,59 @@
+// Co-scheduled consolidation (Section III-B3 of the paper): a high-priority
+// latency-sensitive application (Swaptions) owns part of the machine, and a
+// best-effort memory-intensive application (FT.C) wants to harvest the
+// spare bandwidth of Swaptions' nodes without degrading it.
+//
+//	go run ./examples/coscheduled
+//
+// BWAP's two-stage co-scheduled tuner first raises FT.C's data-to-worker
+// proximity until Swaptions' stall rate stabilizes (the protective lower
+// bound), then continues optimizing FT.C itself.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwap"
+)
+
+func main() {
+	m := bwap.MachineA()
+	cfg := bwap.Config{DemandFactor: 1.3}
+
+	// FT.C runs on one node; Swaptions occupies the other seven.
+	workers, err := bwap.BestWorkerSet(m, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := mustByName("FT.C").Scaled(0.15)
+	fmt.Printf("best-effort FT.C on %v; Swaptions on the remaining %d nodes\n\n",
+		workers, len(bwap.RemainingNodes(m, workers)))
+
+	ct := bwap.NewCanonicalTuner(m, cfg)
+	for _, placer := range []bwap.Placer{
+		bwap.UniformWorkers(),
+		bwap.UniformAll(),
+		bwap.NewBWAP(ct), // engages the co-scheduled tuner automatically
+	} {
+		res, err := bwap.RunCoScheduled(m, cfg, bwap.SwaptionsSpec(), best, workers, placer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s FT.C %6.2f s   Swaptions stall %.3f Gcycles/s\n",
+			placer.Name(), res.Times["FT.C"], res.AvgStallRate["Swaptions"]/1e9)
+		if b, ok := placer.(*bwap.BWAPPolicy); ok {
+			if tuner := b.TunerFor("FT.C"); tuner != nil {
+				fmt.Printf("%-16s chose DWP %.0f%%\n", "", tuner.BestDWP()*100)
+			}
+		}
+	}
+}
+
+func mustByName(name string) bwap.Spec {
+	s, err := bwap.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,57 @@
+// Quickstart: place one memory-intensive application with BWAP and compare
+// it against the state-of-the-art uniform-workers placement.
+//
+//	go run ./examples/quickstart
+//
+// The flow mirrors how the paper's libnuma extension is used: build (or
+// detect) the machine, run the offline canonical tuner once, deploy the
+// application, and let the on-line DWP tuner adjust the placement during
+// the first seconds of execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwap"
+)
+
+func main() {
+	// The paper's Machine A: 8 NUMA nodes with the Figure 1a asymmetric
+	// interconnect.
+	m := bwap.MachineA()
+
+	// Deploy on the two nodes with the highest inter-worker bandwidth
+	// (the AsymSched rule of thumb the paper adopts).
+	workers, err := bwap.BestWorkerSet(m, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s\nworkers: %v (amplitude %.1fx)\n\n", m.Name, workers, m.BWAmplitude())
+
+	// Streamcluster, scaled down so the demo finishes quickly.
+	spec := bwap.Streamcluster().Scaled(0.1)
+
+	// Offline stage: profile the machine once (results are cached per
+	// worker set, as at installation time in the paper).
+	ct := bwap.NewCanonicalTuner(m, bwap.Config{DemandFactor: 1.3})
+
+	baseline, err := bwap.RunStandalone(m, bwap.Config{DemandFactor: 1.3}, spec, workers, bwap.UniformWorkers())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policy := bwap.NewBWAP(ct)
+	tuned, err := bwap.RunStandalone(m, bwap.Config{DemandFactor: 1.3}, spec, workers, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb, tw := tuned.Times[spec.Name], baseline.Times[spec.Name]
+	fmt.Printf("uniform-workers : %6.2f s\n", tw)
+	fmt.Printf("bwap            : %6.2f s  (speedup %.2fx)\n", tb, tw/tb)
+	if tuner := policy.TunerFor(spec.Name); tuner != nil {
+		fmt.Printf("DWP chosen      : %.0f%% after %d measurement periods\n",
+			tuner.BestDWP()*100, len(tuner.Trajectory()))
+	}
+}

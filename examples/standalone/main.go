@@ -1,0 +1,47 @@
+// Stand-alone policy bake-off (the Figure 3c/d scenario): every benchmark
+// of the paper's suite at its optimal worker count, under all six
+// placement policies.
+//
+//	go run ./examples/standalone
+//
+// Expect the ordering the paper reports: first-touch worst for
+// multi-worker runs, uniform-all strong, BWAP best-or-comparable, with the
+// biggest wins when the application does not scale to the whole machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwap"
+)
+
+func main() {
+	m := bwap.MachineA()
+	cfg := bwap.Config{DemandFactor: 1.3}
+	ct := bwap.NewCanonicalTuner(m, cfg)
+
+	optimalWorkers := map[string]int{"SC": 4, "OC": 8, "ON": 8, "SP.B": 1, "FT.C": 8}
+
+	fmt.Printf("%-6s %2s  %-12s %-16s %-12s %-10s\n", "bench", "W", "first-touch", "uniform-workers", "uniform-all", "bwap")
+	for _, spec := range bwap.Benchmarks() {
+		spec := spec.Scaled(0.1)
+		workers, err := bwap.BestWorkerSet(m, optimalWorkers[spec.Name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		times := make(map[string]float64)
+		for _, placer := range []bwap.Placer{
+			bwap.FirstTouch(), bwap.UniformWorkers(), bwap.UniformAll(), bwap.NewBWAP(ct),
+		} {
+			res, err := bwap.RunStandalone(m, cfg, spec, workers, placer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[placer.Name()] = res.Times[spec.Name]
+		}
+		fmt.Printf("%-6s %2d  %9.2fs %13.2fs %9.2fs %7.2fs\n",
+			spec.Name, len(workers),
+			times["first-touch"], times["uniform-workers"], times["uniform-all"], times["bwap"])
+	}
+}

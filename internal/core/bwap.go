@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"bwap/internal/search"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+)
+
+// BWAP is the complete policy as a sim.Placer: it enriches the libnuma
+// interface with the paper's bw-interleaved option. At application start it
+// places pages at the canonical distribution (DWP = 0); it then registers
+// the on-line DWP tuner — or, when CoRunner names a high-priority
+// co-scheduled application, the two-stage co-scheduled tuner.
+//
+// With Uniform set, the canonical tuner is disabled and the initial
+// distribution is uniform-all: the BWAP-uniform ablation of Section IV-B.
+type BWAP struct {
+	// Canonical supplies canonical weight distributions; required unless
+	// Uniform is set.
+	Canonical *CanonicalTuner
+	// Uniform disables the canonical tuner (the BWAP-uniform variant).
+	Uniform bool
+	// UserLevel selects Algorithm 1 (true, the paper's portable default)
+	// or the kernel-level weighted interleave (false).
+	UserLevel bool
+	// Params configures the DWP search; zero value uses the paper's.
+	Params Params
+	// CoRunner optionally names the high-priority application sharing the
+	// machine; it must be registered with the engine before this app.
+	CoRunner string
+	// AutoDetectStablePhase starts the tuner when the MAPI phase detector
+	// reports a stable access pattern instead of at the fixed BWAP-init
+	// time — the automation Section III-B3 proposes for applications that
+	// cannot be modified to call BWAP-init themselves. Stand-alone tuner
+	// only.
+	AutoDetectStablePhase bool
+
+	mu     sync.Mutex
+	tuners map[string]Tuner
+}
+
+// Tuner is the common read-side of both tuner variants, used by the
+// experiment harness to extract DWP values (Table II) and trajectories
+// (Figure 4).
+type Tuner interface {
+	sim.Hook
+	Finished() bool
+	AppliedDWP() float64
+	BestDWP() float64
+	Trajectory() []Measurement
+	Err() error
+}
+
+// NewBWAP returns the full policy backed by the canonical tuner.
+func NewBWAP(ct *CanonicalTuner) *BWAP {
+	return &BWAP{Canonical: ct, UserLevel: true, Params: DefaultParams()}
+}
+
+// NewBWAPUniform returns the BWAP-uniform ablation: DWP tuner only,
+// starting from uniform-all.
+func NewBWAPUniform() *BWAP {
+	return &BWAP{Uniform: true, UserLevel: true, Params: DefaultParams()}
+}
+
+// Name implements sim.Placer.
+func (b *BWAP) Name() string {
+	if b.Uniform {
+		return "bwap-uniform"
+	}
+	return "bwap"
+}
+
+// canonicalFor returns the canonical distribution for a worker set.
+func (b *BWAP) canonicalFor(e *sim.Engine, workers []topology.NodeID) ([]float64, error) {
+	if b.Uniform {
+		return search.Uniform(e.M.NumNodes()), nil
+	}
+	if b.Canonical == nil {
+		return nil, fmt.Errorf("core: BWAP has no canonical tuner (use NewBWAP or NewBWAPUniform)")
+	}
+	return b.Canonical.Weights(workers)
+}
+
+// Place implements sim.Placer: initial placement at DWP=0, then register
+// the on-line tuner.
+func (b *BWAP) Place(e *sim.Engine, app *sim.App) error {
+	canonical, err := b.canonicalFor(e, app.Workers)
+	if err != nil {
+		return err
+	}
+	w0, err := DWPWeights(canonical, app.Workers, 0)
+	if err != nil {
+		return err
+	}
+	if err := ApplyWeights(app.AS, w0, b.UserLevel); err != nil {
+		return err
+	}
+
+	var tuner Tuner
+	if b.CoRunner != "" {
+		var hi *sim.App
+		for _, other := range e.Apps() {
+			if other.Name == b.CoRunner {
+				hi = other
+			}
+		}
+		if hi == nil {
+			return fmt.Errorf("core: co-runner %q not registered before %q", b.CoRunner, app.Name)
+		}
+		tuner = NewCoScheduledTuner(hi, app, canonical, b.Params, b.UserLevel, e.NextSeed(), e.NextSeed())
+	} else {
+		dt := NewDWPTuner(app, canonical, b.Params, b.UserLevel, e.NextSeed())
+		if b.AutoDetectStablePhase {
+			dt.SetPhaseDetector(NewPhaseDetector(app))
+		}
+		tuner = dt
+	}
+	e.AddHook(tuner)
+
+	b.mu.Lock()
+	if b.tuners == nil {
+		b.tuners = make(map[string]Tuner)
+	}
+	b.tuners[app.Name] = tuner
+	b.mu.Unlock()
+	return nil
+}
+
+// TunerFor returns the tuner attached to the named app, or nil.
+func (b *BWAP) TunerFor(appName string) Tuner {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tuners[appName]
+}
+
+// StaticDWP is a placer that applies the BWAP weight distribution at a
+// fixed proximity factor, with no on-line tuning — the manual deployments
+// behind Figure 4's static curves and the tuner-accuracy analysis.
+type StaticDWP struct {
+	// Canonical supplies the canonical distribution; nil with Uniform set
+	// uses uniform-all.
+	Canonical *CanonicalTuner
+	// Uniform selects the uniform canonical distribution.
+	Uniform bool
+	// DWP is the fixed proximity factor in [0,1].
+	DWP float64
+	// UserLevel selects Algorithm 1 vs kernel weighted interleave.
+	UserLevel bool
+	// Label overrides Name() in output.
+	Label string
+}
+
+// Name implements sim.Placer.
+func (p StaticDWP) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("bwap-static-dwp%.0f%%", p.DWP*100)
+}
+
+// Place implements sim.Placer.
+func (p StaticDWP) Place(e *sim.Engine, app *sim.App) error {
+	var canonical []float64
+	var err error
+	if p.Uniform || p.Canonical == nil {
+		canonical = search.Uniform(e.M.NumNodes())
+	} else {
+		canonical, err = p.Canonical.Weights(app.Workers)
+		if err != nil {
+			return err
+		}
+	}
+	w, err := DWPWeights(canonical, app.Workers, p.DWP)
+	if err != nil {
+		return err
+	}
+	return ApplyWeights(app.AS, w, p.UserLevel)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+
+	"bwap/internal/perf"
+	"bwap/internal/sim"
+	"bwap/internal/stats"
+)
+
+// ReTuner implements the paper's first future-work extension (Section VI):
+// "extend BWAP to dynamically adjust its weight distribution throughout the
+// application's execution time, in order to obtain improved performance for
+// applications whose access patterns change over time".
+//
+// It wraps the standard DWP search with a phase watchdog: after a search
+// converges, it keeps monitoring the application's MAPI; when the metric
+// departs from the level observed at tuning time by more than
+// PhaseTolerance, the current placement is assumed stale, pages are re-laid
+// at the canonical distribution (DWP = 0) and the search restarts.
+//
+// Restarting requires migrating pages *away* from the workers, which the
+// user-level Algorithm 1 cannot do (Section III-B2: reverse migration is
+// unsupported by its mbind pattern); the re-tuner therefore always enforces
+// placements through the kernel-level weighted interleave.
+type ReTuner struct {
+	app       *sim.App
+	canonical []float64
+	params    Params
+	// PhaseTolerance is the relative MAPI deviation that triggers a
+	// re-tune (default 25%).
+	PhaseTolerance float64
+	// ReTuneCount reports how many times the search restarted.
+	ReTuneCount int
+
+	sampler    *perf.Sampler
+	started    bool
+	searching  bool
+	dwp        float64
+	prevScore  float64
+	trajectory []Measurement
+	err        error
+
+	// MAPI watchdog state.
+	refMAPI    float64
+	lastBytes  float64
+	lastInstrs float64
+	lastCheck  float64
+}
+
+// NewReTuner returns a dynamic tuner hook for app.
+func NewReTuner(app *sim.App, canonical []float64, params Params, seed uint64) *ReTuner {
+	params = params.withDefaults()
+	return &ReTuner{
+		app:            app,
+		canonical:      append([]float64(nil), canonical...),
+		params:         params,
+		PhaseTolerance: 0.25,
+		sampler:        perf.NewSampler(params.N, params.C, params.T, params.NoiseRel, seed),
+		searching:      true,
+		prevScore:      math.Inf(1),
+	}
+}
+
+// Tick implements sim.Hook.
+func (t *ReTuner) Tick(e *sim.Engine) {
+	if t.err != nil || t.app.Done() {
+		return
+	}
+	if !t.started {
+		if e.Now() < t.app.StableSince(e.Cfg) {
+			return
+		}
+		t.started = true
+		t.sampler.Restart()
+		t.resetMAPIWindow(e.Now())
+	}
+	if t.searching {
+		t.searchStep(e)
+		return
+	}
+	t.watchdog(e)
+}
+
+// searchStep advances the upward DWP climb (identical schedule to the
+// stand-alone tuner, kernel-level enforcement).
+func (t *ReTuner) searchStep(e *sim.Engine) {
+	score, ok := t.sampler.Offer(e.Now(), t.app.Counters.StalledCycles)
+	if !ok {
+		return
+	}
+	t.trajectory = append(t.trajectory, Measurement{DWP: t.dwp, StallRate: score, Time: e.Now()})
+	if score >= t.prevScore || t.dwp >= 1-1e-9 {
+		// Converged; arm the watchdog against the current MAPI level.
+		t.searching = false
+		t.refMAPI = math.NaN()
+		t.resetMAPIWindow(e.Now())
+		return
+	}
+	t.prevScore = score
+	t.apply(e, stats.Clamp(t.dwp+t.params.Step, 0, 1))
+	t.sampler.Restart()
+}
+
+// watchdog samples MAPI over one-second windows and restarts the search on
+// a phase change.
+func (t *ReTuner) watchdog(e *sim.Engine) {
+	const window = 1.0
+	if e.Now()-t.lastCheck < window {
+		return
+	}
+	c := t.app.Counters
+	bytes := c.BytesRead + c.BytesWritten
+	instrs := c.Instructions
+	dBytes, dInstrs := bytes-t.lastBytes, instrs-t.lastInstrs
+	t.lastBytes, t.lastInstrs, t.lastCheck = bytes, instrs, e.Now()
+	if dInstrs <= 0 {
+		return
+	}
+	mapi := dBytes / perf.CacheLineBytes / dInstrs
+	if math.IsNaN(t.refMAPI) {
+		t.refMAPI = mapi
+		return
+	}
+	if t.refMAPI > 0 && math.Abs(mapi-t.refMAPI)/t.refMAPI > t.PhaseTolerance {
+		// Phase change: re-lay at canonical and search again.
+		t.ReTuneCount++
+		t.prevScore = math.Inf(1)
+		t.searching = true
+		t.apply(e, 0)
+		t.sampler.Restart()
+	}
+}
+
+// apply enforces the weight distribution for the given DWP via the
+// kernel-level weighted interleave (reverse migrations allowed).
+func (t *ReTuner) apply(e *sim.Engine, dwp float64) {
+	t.dwp = dwp
+	w, err := DWPWeights(t.canonical, t.app.Workers, t.dwp)
+	if err == nil {
+		err = ApplyWeights(t.app.AS, w, false)
+	}
+	if err != nil {
+		t.err = err
+	}
+}
+
+// resetMAPIWindow re-bases the watchdog counters.
+func (t *ReTuner) resetMAPIWindow(now float64) {
+	c := t.app.Counters
+	t.lastBytes = c.BytesRead + c.BytesWritten
+	t.lastInstrs = c.Instructions
+	t.lastCheck = now
+}
+
+// Finished reports whether the tuner is currently idle (watchdog armed).
+func (t *ReTuner) Finished() bool { return t.started && !t.searching }
+
+// AppliedDWP returns the DWP currently in force.
+func (t *ReTuner) AppliedDWP() float64 { return t.dwp }
+
+// BestDWP returns the DWP with the lowest stall rate measured during the
+// most recent search.
+func (t *ReTuner) BestDWP() float64 {
+	best, bestScore := 0.0, math.Inf(1)
+	for _, m := range t.trajectory {
+		if m.StallRate < bestScore {
+			best, bestScore = m.DWP, m.StallRate
+		}
+	}
+	return best
+}
+
+// Trajectory returns all completed measurement periods across searches.
+func (t *ReTuner) Trajectory() []Measurement {
+	return append([]Measurement(nil), t.trajectory...)
+}
+
+// Err returns a placement failure, if any occurred.
+func (t *ReTuner) Err() error { return t.err }
+
+// DynamicBWAP is a Placer that deploys the ReTuner: the Section VI
+// dynamic variant of the policy.
+type DynamicBWAP struct {
+	// Canonical supplies canonical distributions; nil uses uniform-all
+	// (the bwap-uniform flavour).
+	Canonical *CanonicalTuner
+	// Params configures the search (zero = paper defaults).
+	Params Params
+
+	tuners map[string]*ReTuner
+}
+
+// Name implements sim.Placer.
+func (d *DynamicBWAP) Name() string { return "bwap-dynamic" }
+
+// Place implements sim.Placer.
+func (d *DynamicBWAP) Place(e *sim.Engine, app *sim.App) error {
+	var canonical []float64
+	if d.Canonical != nil {
+		w, err := d.Canonical.Weights(app.Workers)
+		if err != nil {
+			return err
+		}
+		canonical = w
+	} else {
+		canonical = uniformWeights(e.M.NumNodes())
+	}
+	w0, err := DWPWeights(canonical, app.Workers, 0)
+	if err != nil {
+		return err
+	}
+	if err := ApplyWeights(app.AS, w0, false); err != nil {
+		return err
+	}
+	tuner := NewReTuner(app, canonical, d.Params, e.NextSeed())
+	e.AddHook(tuner)
+	if d.tuners == nil {
+		d.tuners = make(map[string]*ReTuner)
+	}
+	d.tuners[app.Name] = tuner
+	return nil
+}
+
+// TunerFor returns the re-tuner attached to the named app, or nil.
+func (d *DynamicBWAP) TunerFor(appName string) *ReTuner { return d.tuners[appName] }
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// phaseChangingSpec is bandwidth-hungry for the first 40% of its work
+// (optimal DWP ≈ 0), then drops to a light latency-bound regime (optimal
+// DWP = 1). The demand drop moves the MAPI metric, which is what the
+// re-tuner's watchdog keys on.
+func phaseChangingSpec() workload.Spec {
+	s := workload.Spec{
+		Name: "phasey", ReadGBs: 60, WriteGBs: 0, PrivateFrac: 0,
+		LatencySensitivity: 0.6, WorkGB: 700,
+		SharedGB: 0.032, PrivateGBPerNode: 0.004,
+		Phases: []workload.Phase{
+			{AtWorkFraction: 0, DemandFactor: 1, LatencyFactor: 0.02},
+			{AtWorkFraction: 0.4, DemandFactor: 0.12, LatencyFactor: 1.5},
+		},
+	}
+	return s
+}
+
+func TestPhaseChangingSpecValidates(t *testing.T) {
+	if err := phaseChangingSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := phaseChangingSpec()
+	bad.Phases[1].AtWorkFraction = 0 // out of order
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-order phases accepted")
+	}
+	bad = phaseChangingSpec()
+	bad.Phases[0].DemandFactor = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative phase factor accepted")
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	s := phaseChangingSpec()
+	if d, k := s.PhaseAt(0.1); d != 1 || k != 0.02 {
+		t.Fatalf("PhaseAt(0.1) = %v/%v", d, k)
+	}
+	if d, k := s.PhaseAt(0.9); d != 0.12 || k != 1.5 {
+		t.Fatalf("PhaseAt(0.9) = %v/%v", d, k)
+	}
+	none := workload.Streamcluster
+	if d, k := none.PhaseAt(0.5); d != 1 || k != 1 {
+		t.Fatalf("phase-less spec returned %v/%v", d, k)
+	}
+}
+
+// TestReTunerFollowsPhaseChange is the Section VI dynamic scenario: the
+// static tuner tunes once for the bandwidth-hungry phase and is stuck when
+// the app turns latency-bound; the re-tuner detects the change, re-lays at
+// canonical, and climbs to high DWP.
+func TestReTunerFollowsPhaseChange(t *testing.T) {
+	m := topology.MachineB()
+	cfg := sim.Config{Seed: 17}
+	spec := phaseChangingSpec()
+
+	e := sim.New(m, cfg)
+	d := &DynamicBWAP{Params: Params{N: 5, C: 1, T: 0.1, Step: 0.1, NoiseRel: 0.02}}
+	if _, err := e.AddApp("phasey", spec, []topology.NodeID{0}, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tuner := d.TunerFor("phasey")
+	if tuner == nil {
+		t.Fatal("no re-tuner registered")
+	}
+	if err := tuner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tuner.ReTuneCount == 0 {
+		t.Fatalf("watchdog never fired; trajectory %v", tuner.Trajectory())
+	}
+	// After the light latency-bound phase, the placement must sit at high
+	// DWP (the second search climbed).
+	if got := tuner.AppliedDWP(); got < 0.7 {
+		t.Fatalf("post-retune DWP = %v, want high (latency-bound phase); retunes=%d trajectory %v",
+			got, tuner.ReTuneCount, tuner.Trajectory())
+	}
+}
+
+// TestReTunerBeatsStaticTunerOnPhaseChange quantifies the extension: on a
+// phase-changing app, the dynamic variant must finish no slower than the
+// one-shot tuner (which is stuck with the phase-1 placement).
+func TestReTunerBeatsStaticTunerOnPhaseChange(t *testing.T) {
+	m := topology.MachineB()
+	spec := phaseChangingSpec()
+	run := func(placer sim.Placer) float64 {
+		e := sim.New(m, sim.Config{Seed: 17})
+		if _, err := e.AddApp("phasey", spec, []topology.NodeID{0}, placer); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["phasey"]
+	}
+	params := Params{N: 5, C: 1, T: 0.1, Step: 0.1, NoiseRel: 0.02}
+	static := NewBWAPUniform()
+	static.Params = params
+	tStatic := run(static)
+	tDynamic := run(&DynamicBWAP{Params: params})
+	if tDynamic > tStatic*1.02 {
+		t.Fatalf("dynamic variant slower than one-shot: %v vs %v", tDynamic, tStatic)
+	}
+	t.Logf("one-shot %.1f s, dynamic %.1f s (%.1f%% faster)", tStatic, tDynamic, 100*(1-tDynamic/tStatic))
+}
+
+// TestReTunerStableAppNeverRetunes: on a single-phase app the watchdog must
+// stay quiet.
+func TestReTunerStableAppNeverRetunes(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{Seed: 19})
+	d := &DynamicBWAP{Params: Params{N: 5, C: 1, T: 0.1, Step: 0.1, NoiseRel: 0.02}}
+	spec := latencyBoundSpec()
+	spec.WorkGB = 300
+	if _, err := e.AddApp("lat", spec, []topology.NodeID{0}, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tuner := d.TunerFor("lat")
+	if tuner.ReTuneCount != 0 {
+		t.Fatalf("spurious re-tunes: %d", tuner.ReTuneCount)
+	}
+	if got := tuner.AppliedDWP(); got < 0.9 {
+		t.Fatalf("latency-bound app should sit at DWP 1: %v", got)
+	}
+}
+
+func TestDynamicBWAPWithCanonicalTuner(t *testing.T) {
+	m := topology.MachineA()
+	cfg := sim.Config{Seed: 23}
+	ct := NewCanonicalTuner(m, cfg)
+	e := sim.New(m, cfg)
+	d := &DynamicBWAP{Canonical: ct, Params: Params{N: 5, C: 1, T: 0.1, Step: 0.1}}
+	spec := workload.Streamcluster.Scaled(0.1)
+	if _, err := e.AddApp("SC", spec, []topology.NodeID{4}, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "bwap-dynamic" {
+		t.Fatal("name wrong")
+	}
+	if tuner := d.TunerFor("SC"); tuner == nil || len(tuner.Trajectory()) == 0 {
+		t.Fatal("dynamic tuner did not run")
+	}
+}

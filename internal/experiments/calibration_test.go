@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"bwap/internal/core"
+	"bwap/internal/sim"
+	"bwap/internal/workload"
+)
+
+// TestDiagnosticDWPSweep prints the static DWP landscape for Streamcluster
+// on Machine A (the Figure 4 scenario) — run with -v to inspect.
+func TestDiagnosticDWPSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := MachineA().Quick()
+	for _, nw := range []int{1, 2} {
+		workers, err := p.Workers(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := workload.Streamcluster
+		for dwp := 0.0; dwp <= 1.001; dwp += 0.2 {
+			cfg := p.SimCfg
+			e := sim.New(p.M, cfg)
+			app, err := e.AddApp("sc", spec.Scaled(p.WorkScale), workers,
+				core.StaticDWP{Canonical: p.Canonical(), DWP: dwp, UserLevel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("SC A %dW dwp=%.1f time=%.1f stall=%.3g", nw, dwp, res.Times["sc"], app.Counters.AvgStallFraction())
+		}
+	}
+}
+
+// TestDiagnosticPolicies prints policy comparison for all benchmarks,
+// co-scheduled on machine A with 1 and 2 workers.
+func TestDiagnosticPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := MachineA().Quick()
+	for _, nw := range []int{1, 2} {
+		workers, _ := p.Workers(nw)
+		for _, spec := range workload.Benchmarks() {
+			line := ""
+			for _, pol := range PolicyNames {
+				r, err := p.Run(spec, workers, pol, true)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", spec.Name, pol, err)
+				}
+				line += " " + pol + "=" + fmtF(r.Time)
+				if pol == "bwap" {
+					line += " dwp=" + fmtF(r.BestDWP)
+				}
+			}
+			t.Logf("A %dW %-5s%s", nw, spec.Name, line)
+		}
+	}
+}
+
+// TestDiagnosticScaling prints stand-alone times vs worker count under
+// uniform-workers, to check the optimal-parallelism calibration.
+func TestDiagnosticScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, p := range []*Profile{MachineA().Quick(), MachineB().Quick()} {
+		counts := []int{1, 2, 4}
+		if p.M.NumNodes() == 8 {
+			counts = append(counts, 8)
+		}
+		for _, spec := range workload.Benchmarks() {
+			line := ""
+			for _, nw := range counts {
+				workers, _ := p.Workers(nw)
+				r, err := p.Run(spec, workers, "uniform-workers", false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				line += fmtF(r.Time) + " "
+			}
+			t.Logf("%s %-5s W=%v times: %s", p.Name, spec.Name, counts, line)
+		}
+	}
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }

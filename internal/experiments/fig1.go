@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bwap/internal/memsys"
+	"bwap/internal/policy"
+	"bwap/internal/search"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// inf is the objective value for failed search evaluations.
+const inf = 1e30
+
+// Fig1a is the pairwise node-to-node bandwidth matrix (Figure 1a).
+type Fig1a struct {
+	MachineName string
+	// Matrix[src][dst] is the measured single-stream bandwidth in GB/s.
+	Matrix [][]float64
+}
+
+// RunFig1a measures the matrix the way the paper does: one saturating
+// stream per (src,dst) pair, nothing else running.
+func RunFig1a(p *Profile) *Fig1a {
+	memCfg := p.SimCfg.Mem
+	if memCfg == (memsys.Config{}) {
+		memCfg = memsys.DefaultConfig()
+	}
+	sys := memsys.New(p.M, memCfg)
+	return &Fig1a{MachineName: p.M.Name, Matrix: sys.MeasuredMatrix()}
+}
+
+// Render prints the matrix in the layout of Figure 1a (rows = source node,
+// columns = destination node).
+func (f *Fig1a) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1a — node-to-node BWs (GB/s) on %s\n", f.MachineName)
+	b.WriteString("src\\dst")
+	for d := range f.Matrix {
+		fmt.Fprintf(&b, "   N%-3d", d+1)
+	}
+	b.WriteString("\n")
+	for s, row := range f.Matrix {
+		fmt.Fprintf(&b, "  N%-4d", s+1)
+		for _, v := range row {
+			fmt.Fprintf(&b, " %6.1f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig1bRow is one benchmark of Figure 1b: execution-time of each baseline
+// normalized against the offline n-dimensional search (1.0 = as good as
+// the search's best placements; lower = slower).
+type Fig1bRow struct {
+	Benchmark      string
+	FirstTouch     float64
+	UniformWorkers float64
+	UniformAll     float64
+	// OracleTime is the mean execution time of the search's top-10 weight
+	// distributions.
+	OracleTime float64
+	// OracleBest is the single best weight distribution found.
+	OracleBest []float64
+}
+
+// Fig1b is the motivation experiment of Section II: 2 worker nodes,
+// 8 threads each, on Machine A.
+type Fig1b struct {
+	Rows []Fig1bRow
+	// Evals is the per-benchmark evaluation budget of the search.
+	Evals int
+}
+
+// RunFig1b reproduces Figure 1b: for each benchmark, hill-climb the
+// N-dimensional weight space (starting from uniform-workers, as the paper
+// does) and normalize the standard policies against the top-10 mean.
+func RunFig1b(p *Profile) (*Fig1b, error) {
+	workers, err := p.Workers(2)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1b{Evals: p.SearchBudget}
+	for _, spec := range workload.Benchmarks() {
+		spec := spec
+		objective := func(w []float64) float64 {
+			t, err := p.staticWeightedTime(spec, workers, w)
+			if err != nil {
+				return inf
+			}
+			return t
+		}
+		// The paper climbs from uniform-workers; a second start at
+		// uniform-all keeps the oracle strong at reduced budgets.
+		starts := [][]float64{
+			search.UniformOver(p.M.NumNodes(), nodeInts(workers)),
+			search.Uniform(p.M.NumNodes()),
+		}
+		res, err := search.HillClimbMulti(objective, starts, 0.10, p.SearchBudget)
+		if err != nil {
+			return nil, err
+		}
+		oracle := res.MeanTopK(10)
+
+		row := Fig1bRow{Benchmark: spec.Name, OracleTime: oracle, OracleBest: res.Best.Weights}
+		for _, pol := range []string{"first-touch", "uniform-workers", "uniform-all"} {
+			r, err := p.Run(spec, workers, pol, false)
+			if err != nil {
+				return nil, err
+			}
+			norm := oracle / r.Time
+			switch pol {
+			case "first-touch":
+				row.FirstTouch = norm
+			case "uniform-workers":
+				row.UniformWorkers = norm
+			case "uniform-all":
+				row.UniformAll = norm
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// staticWeightedTime runs one stand-alone deployment under a fixed weight
+// vector (the search's evaluation function).
+func (p *Profile) staticWeightedTime(spec workload.Spec, workers []topology.NodeID, w []float64) (float64, error) {
+	e := sim.New(p.M, p.SimCfg)
+	placer := policy.StaticWeighted{Weights: w, Label: "static-search"}
+	if _, err := e.AddApp(spec.Name, spec.Scaled(p.WorkScale), workers, placer); err != nil {
+		return 0, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	if res.TimedOut {
+		return 0, fmt.Errorf("experiments: static-weighted %s timed out", spec.Name)
+	}
+	return res.Times[spec.Name], nil
+}
+
+// nodeInts converts node ids to plain ints for search.UniformOver.
+func nodeInts(nodes []topology.NodeID) []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = int(n)
+	}
+	return out
+}
+
+// Render prints Figure 1b as a table.
+func (f *Fig1b) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1b — performance normalized to the n-dim search (higher is better)\n")
+	b.WriteString("Benchmark   first-touch  uniform-workers  uniform-all   (oracle time s)\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-11s %11.2f %16.2f %12.2f %14.1f\n",
+			r.Benchmark, r.FirstTouch, r.UniformWorkers, r.UniformAll, r.OracleTime)
+	}
+	fmt.Fprintf(&b, "(search budget: %d evaluations per benchmark)\n", f.Evals)
+	return b.String()
+}

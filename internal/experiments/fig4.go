@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bwap/internal/core"
+	"bwap/internal/policy"
+	"bwap/internal/sched"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// Fig4Point is one static deployment of the DWP sweep.
+type Fig4Point struct {
+	DWP float64
+	// StallRate and ExecTime are normalized to the maximum of their series
+	// (the paper plots "Norm. Stall rate" / "Norm. Execution time").
+	StallRate, ExecTime float64
+	// RawStallRate and RawTime are the unnormalized values.
+	RawStallRate, RawTime float64
+}
+
+// Fig4Panel is one panel of Figure 4 (Streamcluster on Machine A, for one
+// worker count): the static-DWP landscape plus the point the on-line
+// tuner picked.
+type Fig4Panel struct {
+	Workers int
+	Static  []Fig4Point
+	// TunedDWP is the DWP the on-line search settled on (median of seeds);
+	// TunedTime its (normalized) execution time.
+	TunedDWP, TunedTime float64
+	// BestStaticDWP is the sweep's argmin by execution time.
+	BestStaticDWP float64
+	// WithinOneStep reports the Section IV-B accuracy claim: the tuner
+	// landed within one step (10%) of a near-optimal static DWP (within 2%
+	// of the sweep's best time — flat regions of the landscape are ties).
+	WithinOneStep bool
+}
+
+// Fig4 is the complete figure.
+type Fig4 struct {
+	MachineName string
+	Panels      []Fig4Panel
+}
+
+// RunFig4 reproduces Figure 4: Streamcluster on Machine A with 1 and 2
+// worker nodes (co-scheduled with Swaptions, the Table II scenario),
+// sweeping static DWP values 0..100% in steps of 10% and overlaying the
+// on-line tuner's choice.
+func RunFig4(p *Profile, workerCounts []int) (*Fig4, error) {
+	spec := workload.Streamcluster
+	out := &Fig4{MachineName: p.Name}
+	for _, nw := range workerCounts {
+		ws, err := p.Workers(nw)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig4Panel{Workers: nw}
+		maxStall, maxTime := 0.0, 0.0
+		bestTime := math.Inf(1)
+		for dwp := 0.0; dwp <= 1.0001; dwp += 0.1 {
+			t, stall, err := p.staticDWPRun(spec, ws, dwp)
+			if err != nil {
+				return nil, err
+			}
+			panel.Static = append(panel.Static, Fig4Point{DWP: dwp, RawStallRate: stall, RawTime: t})
+			maxStall = math.Max(maxStall, stall)
+			maxTime = math.Max(maxTime, t)
+			if t < bestTime {
+				bestTime = t
+				panel.BestStaticDWP = dwp
+			}
+		}
+		for i := range panel.Static {
+			if maxStall > 0 {
+				panel.Static[i].StallRate = panel.Static[i].RawStallRate / maxStall
+			}
+			if maxTime > 0 {
+				panel.Static[i].ExecTime = panel.Static[i].RawTime / maxTime
+			}
+		}
+		// On-line tuner run (bwap, co-scheduled).
+		r, err := p.Run(spec, ws, "bwap", true)
+		if err != nil {
+			return nil, err
+		}
+		panel.TunedDWP = r.BestDWP
+		if maxTime > 0 {
+			panel.TunedTime = r.Time / maxTime
+		}
+		panel.WithinOneStep = withinOneStepOfOptimum(panel.TunedDWP, panel.Static, bestTime)
+		out.Panels = append(out.Panels, panel)
+	}
+	return out, nil
+}
+
+// withinOneStepOfOptimum reports whether dwp lies within one 10% step of
+// any static point whose time is within 2% of the sweep's best — the
+// Section IV-B accuracy criterion, treating flat regions as ties.
+func withinOneStepOfOptimum(dwp float64, static []Fig4Point, bestTime float64) bool {
+	for _, pt := range static {
+		if pt.RawTime <= bestTime*1.02 && math.Abs(dwp-pt.DWP) <= 0.10001 {
+			return true
+		}
+	}
+	return false
+}
+
+// staticDWPRun is one manual deployment at a fixed DWP in the co-scheduled
+// scenario, returning (time, stall rate).
+func (p *Profile) staticDWPRun(spec workload.Spec, ws []topology.NodeID, dwp float64) (float64, float64, error) {
+	e := sim.New(p.M, p.SimCfg)
+	rest := sched.RemainingNodes(p.M, ws)
+	if len(rest) > 0 {
+		if _, err := e.AddApp(coRunnerName, workload.Swaptions, rest, policy.FirstTouch{}); err != nil {
+			return 0, 0, err
+		}
+	}
+	placer := core.StaticDWP{Canonical: p.Canonical(), DWP: dwp, UserLevel: true}
+	if _, err := e.AddApp(spec.Name, spec.Scaled(p.WorkScale), ws, placer); err != nil {
+		return 0, 0, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	if res.TimedOut {
+		return 0, 0, fmt.Errorf("experiments: static DWP %.0f%% run timed out", dwp*100)
+	}
+	return res.Times[spec.Name], res.AvgStallRate[spec.Name], nil
+}
+
+// Render prints the sweep as aligned series, one panel per worker count.
+func (f *Fig4) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — DWP iterative search, Streamcluster on %s\n", f.MachineName)
+	for _, panel := range f.Panels {
+		fmt.Fprintf(&b, "\n%d worker node(s):\n  DWP(%%)      ", panel.Workers)
+		for _, pt := range panel.Static {
+			fmt.Fprintf(&b, " %6.0f", pt.DWP*100)
+		}
+		b.WriteString("\n  norm stall  ")
+		for _, pt := range panel.Static {
+			fmt.Fprintf(&b, " %6.2f", pt.StallRate)
+		}
+		b.WriteString("\n  norm time   ")
+		for _, pt := range panel.Static {
+			fmt.Fprintf(&b, " %6.2f", pt.ExecTime)
+		}
+		fmt.Fprintf(&b, "\n  bwap chose DWP=%.0f%% (best static %.0f%%; within one step: %v)\n",
+			panel.TunedDWP*100, panel.BestStaticDWP*100, panel.WithinOneStep)
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bwap/internal/core"
+	"bwap/internal/sim"
+	"bwap/internal/workload"
+)
+
+// OverheadRow quantifies the DWP tuner's cost and accuracy for one
+// benchmark (the Section IV-B analysis): the tuned run against the best
+// static DWP deployment found by a manual sweep.
+type OverheadRow struct {
+	Benchmark string
+	Workers   int
+	// BestStaticDWP and BestStaticTime describe the manual sweep's optimum.
+	BestStaticDWP, BestStaticTime float64
+	// TunedDWP and TunedTime describe the on-line run.
+	TunedDWP, TunedTime float64
+	// OverheadPct is 100·(TunedTime/BestStaticTime − 1); the paper measured
+	// at most 4%.
+	OverheadPct float64
+	// WithinOneStep reports |TunedDWP − BestStaticDWP| ≤ one 10% step.
+	WithinOneStep bool
+}
+
+// Overhead is the tuner cost/accuracy experiment over the benchmark suite.
+type Overhead struct {
+	MachineName string
+	Rows        []OverheadRow
+}
+
+// RunOverhead measures tuner overhead and accuracy in the co-scheduled
+// scenario at the given worker count.
+func RunOverhead(p *Profile, workers int) (*Overhead, error) {
+	ws, err := p.Workers(workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &Overhead{MachineName: p.Name}
+	for _, spec := range workload.Benchmarks() {
+		row := OverheadRow{Benchmark: spec.Name, Workers: workers, BestStaticTime: math.Inf(1)}
+		var sweep []Fig4Point
+		for dwp := 0.0; dwp <= 1.0001; dwp += 0.1 {
+			t, _, err := p.staticDWPRun(spec, ws, dwp)
+			if err != nil {
+				return nil, err
+			}
+			sweep = append(sweep, Fig4Point{DWP: dwp, RawTime: t})
+			if t < row.BestStaticTime {
+				row.BestStaticTime, row.BestStaticDWP = t, dwp
+			}
+		}
+		r, err := p.Run(spec, ws, "bwap", true)
+		if err != nil {
+			return nil, err
+		}
+		row.TunedDWP, row.TunedTime = r.BestDWP, r.Time
+		row.OverheadPct = 100 * (row.TunedTime/row.BestStaticTime - 1)
+		row.WithinOneStep = withinOneStepOfOptimum(row.TunedDWP, sweep, row.BestStaticTime)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// MaxOverheadPct returns the worst overhead across the suite.
+func (o *Overhead) MaxOverheadPct() float64 {
+	worst := 0.0
+	for _, r := range o.Rows {
+		if r.OverheadPct > worst {
+			worst = r.OverheadPct
+		}
+	}
+	return worst
+}
+
+// Render prints the analysis.
+func (o *Overhead) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DWP tuner overhead & accuracy (%s)\n", o.MachineName)
+	b.WriteString("Benchmark   W  best-static-DWP  best-static-t  tuned-DWP  tuned-t  overhead%  within-1-step\n")
+	for _, r := range o.Rows {
+		fmt.Fprintf(&b, "%-10s %2d %15.0f%% %14.1f %9.0f%% %8.1f %9.1f %14v\n",
+			r.Benchmark, r.Workers, r.BestStaticDWP*100, r.BestStaticTime,
+			r.TunedDWP*100, r.TunedTime, r.OverheadPct, r.WithinOneStep)
+	}
+	fmt.Fprintf(&b, "max overhead: %.1f%% (paper: at most 4%%)\n", o.MaxOverheadPct())
+	return b.String()
+}
+
+// AblationRow compares the kernel-level and user-level (Algorithm 1)
+// weighted interleaving for one benchmark; Section IV reports the gap at
+// no more than 3%.
+type AblationRow struct {
+	Benchmark string
+	// UserTime and KernelTime are completion times under the two
+	// enforcement mechanisms at the same canonical DWP=0 placement.
+	UserTime, KernelTime float64
+	// GapPct is 100·(UserTime/KernelTime − 1).
+	GapPct float64
+}
+
+// Ablation is the kernel- vs user-level enforcement study.
+type Ablation struct {
+	MachineName string
+	Rows        []AblationRow
+}
+
+// RunKernelVsUserAblation runs every benchmark stand-alone at the canonical
+// placement (DWP 0) enforced via Algorithm 1 and via the kernel weighted
+// interleave, and reports the performance gap.
+func RunKernelVsUserAblation(p *Profile, workers int) (*Ablation, error) {
+	ws, err := p.Workers(workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &Ablation{MachineName: p.Name}
+	for _, spec := range workload.Benchmarks() {
+		times := make(map[bool]float64)
+		for _, userLevel := range []bool{true, false} {
+			e := sim.New(p.M, p.SimCfg)
+			placer := core.StaticDWP{Canonical: p.Canonical(), DWP: 0, UserLevel: userLevel}
+			if _, err := e.AddApp(spec.Name, spec.Scaled(p.WorkScale), ws, placer); err != nil {
+				return nil, err
+			}
+			res, err := e.Run()
+			if err != nil {
+				return nil, err
+			}
+			if res.TimedOut {
+				return nil, fmt.Errorf("experiments: ablation run for %s timed out", spec.Name)
+			}
+			times[userLevel] = res.Times[spec.Name]
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Benchmark:  spec.Name,
+			UserTime:   times[true],
+			KernelTime: times[false],
+			GapPct:     100 * (times[true]/times[false] - 1),
+		})
+	}
+	return out, nil
+}
+
+// MaxAbsGapPct returns the largest absolute gap.
+func (a *Ablation) MaxAbsGapPct() float64 {
+	worst := 0.0
+	for _, r := range a.Rows {
+		if g := math.Abs(r.GapPct); g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// Render prints the ablation.
+func (a *Ablation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — user-level (Algorithm 1) vs kernel-level weighted interleave (%s)\n", a.MachineName)
+	b.WriteString("Benchmark   user-level(s)  kernel-level(s)   gap%\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-11s %13.1f %16.1f %6.1f\n", r.Benchmark, r.UserTime, r.KernelTime, r.GapPct)
+	}
+	fmt.Fprintf(&b, "max |gap|: %.1f%% (paper: at most 3%%)\n", a.MaxAbsGapPct())
+	return b.String()
+}

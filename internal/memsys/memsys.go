@@ -1,0 +1,334 @@
+// Package memsys models the contended memory system of a NUMA machine.
+//
+// Given a set of flows — (source memory node → destination worker node)
+// pairs with a bandwidth demand — it computes the rates the flows actually
+// achieve under demand-bounded max-min fairness (progressive filling) over
+// three resource classes:
+//
+//   - the source node's memory controller (local/remote contention),
+//   - every directed interconnect link on the flow's route (congestion),
+//   - the destination node's core ingest capacity.
+//
+// This is the substrate behind the paper's Equations 1–5: the "parallel
+// transfers, slowest transfer dominates" abstraction is exactly what
+// max-min fair sharing produces when a worker spreads demand across nodes.
+//
+// Two refinements model the non-linearities Section III-A3 cites:
+//
+//   - controller efficiency shrinks with the number of distinct streams
+//     contending at a controller (row-buffer/bank interference, DraMon [30]);
+//   - write traffic costs more than read traffic at the controller
+//     (callers fold writes in via EquivalentDemand).
+package memsys
+
+import (
+	"fmt"
+	"math"
+
+	"bwap/internal/topology"
+)
+
+// Flow is one directed bandwidth demand: threads on Dst reading (and
+// writing) pages that live on Src at up to Demand GB/s of
+// controller-equivalent traffic.
+type Flow struct {
+	Src, Dst topology.NodeID
+	// Demand is the controller-equivalent demand in GB/s (reads plus
+	// write-penalty-weighted writes; see EquivalentDemand).
+	Demand float64
+	// Streams is the number of distinct hardware streams (threads) behind
+	// this flow; it feeds the source controller's multi-stream efficiency
+	// model. Zero is treated as one stream; a negative value contributes no
+	// streams (used when the same threads are already counted by a sibling
+	// flow of the same application and worker).
+	Streams int
+	// Tag is opaque caller context (e.g. which app and page class the flow
+	// belongs to); the solver ignores it.
+	Tag int
+}
+
+// streamCount returns the effective stream count of a flow.
+func (f Flow) streamCount() int {
+	switch {
+	case f.Streams < 0:
+		return 0
+	case f.Streams == 0:
+		return 1
+	default:
+		return f.Streams
+	}
+}
+
+// Config tunes the contention model.
+type Config struct {
+	// StreamPenalty is the per-extra-stream controller efficiency loss
+	// coefficient: eff(k) = Floor + (1-Floor)/(1+StreamPenalty*(k-1)).
+	StreamPenalty float64
+	// EfficiencyFloor bounds how far multi-stream interference can degrade
+	// a controller.
+	EfficiencyFloor float64
+	// WritePenalty is the controller cost multiplier for write bytes,
+	// applied by EquivalentDemand.
+	WritePenalty float64
+}
+
+// DefaultConfig returns the model parameters used across the reproduction.
+// StreamPenalty/Floor are chosen so that a fully loaded 8-thread node keeps
+// roughly 80% of its single-stream controller bandwidth, consistent with
+// the saturation behaviour the paper observes for OC/ON/FT.C private
+// traffic; WritePenalty reflects DRAM write turnaround cost.
+func DefaultConfig() Config {
+	return Config{
+		StreamPenalty:   0.035,
+		EfficiencyFloor: 0.70,
+		WritePenalty:    1.5,
+	}
+}
+
+// EquivalentDemand folds a read/write demand pair into a single
+// controller-equivalent GB/s figure.
+func (c Config) EquivalentDemand(readGBs, writeGBs float64) float64 {
+	return readGBs + c.WritePenalty*writeGBs
+}
+
+// Efficiency returns the controller efficiency for k contending streams.
+func (c Config) Efficiency(k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	eff := c.EfficiencyFloor + (1-c.EfficiencyFloor)/(1+c.StreamPenalty*float64(k-1))
+	return eff
+}
+
+// System solves flow sets against one machine. It is reusable and
+// goroutine-safe for concurrent Solve calls (all state is per-call).
+type System struct {
+	m   *topology.Machine
+	cfg Config
+}
+
+// New returns a System for the machine with the given model configuration.
+func New(m *topology.Machine, cfg Config) *System {
+	return &System{m: m, cfg: cfg}
+}
+
+// Machine returns the underlying machine description.
+func (s *System) Machine() *topology.Machine { return s.m }
+
+// Config returns the contention model configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Result reports the outcome of one Solve call.
+type Result struct {
+	// Rates holds the achieved GB/s of each flow, in input order.
+	Rates []float64
+	// ControllerUtil is the per-node memory controller utilization in
+	// [0,1] relative to effective (efficiency-scaled) capacity.
+	ControllerUtil []float64
+	// IngestUtil is the per-node core ingest utilization in [0,1].
+	IngestUtil []float64
+	// LinkUtil is the per-link utilization in [0,1].
+	LinkUtil []float64
+	// NodeOutGBs is the achieved outbound (read-side) traffic per source
+	// node; this is what the per-node DRAM throughput counters expose and
+	// what the canonical tuner profiles.
+	NodeOutGBs []float64
+}
+
+// TotalRate returns the sum of all achieved flow rates.
+func (r *Result) TotalRate() float64 {
+	total := 0.0
+	for _, v := range r.Rates {
+		total += v
+	}
+	return total
+}
+
+// resource indices within the solver's flat resource table:
+// [0,N)      controllers
+// [N,2N)     ingest caps
+// [2N,2N+L)  links
+func (s *System) resourceCount() int { return 2*s.m.NumNodes() + s.m.NumLinks() }
+
+// Solve computes demand-bounded max-min fair rates for the given flows.
+// Flows with non-positive demand get rate 0. The algorithm is progressive
+// filling: all unfrozen flows grow at the same rate until either a flow's
+// demand is met (it freezes satisfied) or a resource saturates (all flows
+// through it freeze bottlenecked); repeat until every flow is frozen.
+func (s *System) Solve(flows []Flow) *Result {
+	n := s.m.NumNodes()
+	res := &Result{
+		Rates:          make([]float64, len(flows)),
+		ControllerUtil: make([]float64, n),
+		IngestUtil:     make([]float64, n),
+		LinkUtil:       make([]float64, s.m.NumLinks()),
+		NodeOutGBs:     make([]float64, n),
+	}
+	if len(flows) == 0 {
+		return res
+	}
+
+	// Effective controller capacity given stream counts.
+	streams := make([]int, n)
+	for _, f := range flows {
+		if f.Demand > 0 {
+			streams[f.Src] += f.streamCount()
+		}
+	}
+	capacity := make([]float64, s.resourceCount())
+	for i := 0; i < n; i++ {
+		node := s.m.Node(topology.NodeID(i))
+		capacity[i] = node.ControllerGBs * s.cfg.Efficiency(streams[i])
+		capacity[n+i] = s.m.IngestGBs()
+	}
+	for l := 0; l < s.m.NumLinks(); l++ {
+		capacity[2*n+l] = s.m.Link(topology.LinkID(l)).CapacityGBs
+	}
+	initial := append([]float64(nil), capacity...)
+
+	// Per-flow resource lists.
+	paths := make([][]int, len(flows))
+	remaining := make([]float64, len(flows))
+	active := make([]bool, len(flows))
+	nActive := 0
+	for i, f := range flows {
+		if f.Demand <= 0 {
+			continue
+		}
+		p := []int{int(f.Src), n + int(f.Dst)}
+		for _, l := range s.m.Route(f.Src, f.Dst) {
+			p = append(p, 2*n+int(l))
+		}
+		paths[i] = p
+		remaining[i] = f.Demand
+		active[i] = true
+		nActive++
+	}
+
+	// Progressive filling.
+	load := make([]int, s.resourceCount()) // active flows per resource
+	const eps = 1e-9
+	for nActive > 0 {
+		for r := range load {
+			load[r] = 0
+		}
+		for i := range flows {
+			if !active[i] {
+				continue
+			}
+			for _, r := range paths[i] {
+				load[r]++
+			}
+		}
+		// The uniform increment every active flow can take.
+		inc := math.Inf(1)
+		for r, k := range load {
+			if k > 0 {
+				if share := capacity[r] / float64(k); share < inc {
+					inc = share
+				}
+			}
+		}
+		for i := range flows {
+			if active[i] && remaining[i] < inc {
+				inc = remaining[i]
+			}
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Apply the increment.
+		for i := range flows {
+			if !active[i] {
+				continue
+			}
+			res.Rates[i] += inc
+			remaining[i] -= inc
+			for _, r := range paths[i] {
+				capacity[r] -= inc
+			}
+		}
+		// Freeze satisfied flows and flows on saturated resources.
+		frozeSomething := false
+		for i := range flows {
+			if !active[i] {
+				continue
+			}
+			if remaining[i] <= eps {
+				active[i] = false
+				nActive--
+				frozeSomething = true
+				continue
+			}
+			for _, r := range paths[i] {
+				if capacity[r] <= eps {
+					active[i] = false
+					nActive--
+					frozeSomething = true
+					break
+				}
+			}
+		}
+		if !frozeSomething {
+			// Defensive: cannot happen (inc always exhausts a demand or a
+			// resource), but never loop forever on numerical corner cases.
+			break
+		}
+	}
+
+	// Utilizations and per-node outbound counters.
+	for i, f := range flows {
+		if res.Rates[i] > 0 {
+			res.NodeOutGBs[f.Src] += res.Rates[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if initial[i] > 0 {
+			res.ControllerUtil[i] = (initial[i] - capacity[i]) / initial[i]
+		}
+		if initial[n+i] > 0 {
+			res.IngestUtil[i] = (initial[n+i] - capacity[n+i]) / initial[n+i]
+		}
+	}
+	for l := 0; l < s.m.NumLinks(); l++ {
+		r := 2*n + l
+		if initial[r] > 0 {
+			res.LinkUtil[l] = (initial[r] - capacity[r]) / initial[r]
+		}
+	}
+	return res
+}
+
+// PairwiseBW measures the single-stream bandwidth from src to dst — the
+// procedure behind Figure 1a: one saturating flow, nothing else running.
+func (s *System) PairwiseBW(src, dst topology.NodeID) float64 {
+	r := s.Solve([]Flow{{Src: src, Dst: dst, Demand: 1e6}})
+	return r.Rates[0]
+}
+
+// MeasuredMatrix returns the full pairwise single-stream bandwidth matrix.
+func (s *System) MeasuredMatrix() [][]float64 {
+	n := s.m.NumNodes()
+	out := make([][]float64, n)
+	for src := 0; src < n; src++ {
+		out[src] = make([]float64, n)
+		for dst := 0; dst < n; dst++ {
+			out[src][dst] = s.PairwiseBW(topology.NodeID(src), topology.NodeID(dst))
+		}
+	}
+	return out
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.StreamPenalty < 0 {
+		return fmt.Errorf("memsys: negative stream penalty %v", c.StreamPenalty)
+	}
+	if c.EfficiencyFloor <= 0 || c.EfficiencyFloor > 1 {
+		return fmt.Errorf("memsys: efficiency floor %v out of (0,1]", c.EfficiencyFloor)
+	}
+	if c.WritePenalty < 1 {
+		return fmt.Errorf("memsys: write penalty %v below 1", c.WritePenalty)
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+// Package mm simulates the OS virtual-memory mechanisms BWAP builds on:
+// address spaces made of segments (.data/BSS/heap mappings), 4 KiB pages
+// with a page→node mapping, fault-driven first-touch, the mbind(2) system
+// call with uniform-interleave semantics and MPOL_MF_MOVE migration, the
+// kernel-level weighted-interleave policy the paper adds, and a migration
+// byte counter so the simulator can charge page-migration cost.
+//
+// Section III-B2 of the paper executes Algorithm 1 against exactly this
+// API surface; the core package reimplements the algorithm verbatim on top
+// of this package.
+//
+// An AddressSpace is not safe for concurrent use; the simulation engine
+// drives each address space from a single goroutine.
+package mm
+
+import (
+	"fmt"
+	"sort"
+
+	"bwap/internal/topology"
+)
+
+// PageSize is the simulated page size in bytes — the Linux default 4 KiB
+// used by all the paper's experiments (large pages are future work there).
+const PageSize = 4096
+
+// SharedOwner marks a segment accessed uniformly by all worker nodes
+// (the paper's "shared pages").
+const SharedOwner topology.NodeID = -1
+
+// Unmapped is the node value of a page that has not been faulted in.
+const Unmapped topology.NodeID = -1
+
+// Flags mirror the mbind(2) flags the paper relies on.
+type Flags uint
+
+const (
+	// MoveFlag corresponds to MPOL_MF_MOVE: migrate currently mapped pages
+	// that do not conform to the requested policy.
+	MoveFlag Flags = 1 << iota
+	// StrictFlag corresponds to MPOL_MF_STRICT; with MoveFlag it demands
+	// full conformance (our simulated migrations always succeed, so it is
+	// recorded but has no additional effect).
+	StrictFlag
+)
+
+// Segment is one contiguous virtual mapping (e.g. .data, BSS, or a heap
+// arena) with a per-page physical node assignment.
+type Segment struct {
+	name  string
+	start uint64
+	// pages[i] is the node holding page i, or Unmapped.
+	pages []topology.NodeID
+	// counts[n] is the number of pages currently on node n.
+	counts []int64
+	mapped int
+	owner  topology.NodeID
+	as     *AddressSpace
+}
+
+// AddressSpace is the set of segments of one simulated process.
+type AddressSpace struct {
+	numNodes int
+	segments []*Segment
+	byName   map[string]*Segment
+	nextAddr uint64
+	// migratedBytes counts every page migration ever performed.
+	migratedBytes int64
+	// pendingMigrated counts migrations since the last Drain; the engine
+	// drains it each tick to charge migration bandwidth cost.
+	pendingMigrated int64
+}
+
+// NewAddressSpace returns an empty address space for a machine with
+// numNodes NUMA nodes.
+func NewAddressSpace(numNodes int) *AddressSpace {
+	if numNodes <= 0 {
+		panic("mm: address space needs at least one node")
+	}
+	return &AddressSpace{
+		numNodes: numNodes,
+		byName:   make(map[string]*Segment),
+		nextAddr: 0x4000_0000, // arbitrary base; only relative layout matters
+	}
+}
+
+// NumNodes returns the node count the address space was built for.
+func (as *AddressSpace) NumNodes() int { return as.numNodes }
+
+// AddSegment appends a segment of the given length (rounded up to a page
+// multiple). owner is SharedOwner for shared data or a node id for
+// thread-private data of the threads pinned on that node.
+func (as *AddressSpace) AddSegment(name string, length uint64, owner topology.NodeID) *Segment {
+	if length == 0 {
+		panic(fmt.Sprintf("mm: segment %q has zero length", name))
+	}
+	if _, dup := as.byName[name]; dup {
+		panic(fmt.Sprintf("mm: duplicate segment %q", name))
+	}
+	n := int((length + PageSize - 1) / PageSize)
+	s := &Segment{
+		name:   name,
+		start:  as.nextAddr,
+		pages:  make([]topology.NodeID, n),
+		counts: make([]int64, as.numNodes),
+		owner:  owner,
+		as:     as,
+	}
+	for i := range s.pages {
+		s.pages[i] = Unmapped
+	}
+	as.nextAddr += uint64(n) * PageSize
+	as.segments = append(as.segments, s)
+	as.byName[name] = s
+	return s
+}
+
+// Segments returns the segments in creation order. The slice is shared;
+// do not modify it.
+func (as *AddressSpace) Segments() []*Segment { return as.segments }
+
+// Segment returns the named segment, or nil.
+func (as *AddressSpace) Segment(name string) *Segment { return as.byName[name] }
+
+// Distribution returns mapped page counts per node across all segments.
+func (as *AddressSpace) Distribution() []int64 {
+	out := make([]int64, as.numNodes)
+	for _, s := range as.segments {
+		for n, c := range s.counts {
+			out[n] += c
+		}
+	}
+	return out
+}
+
+// TotalMigratedBytes returns the lifetime page-migration volume.
+func (as *AddressSpace) TotalMigratedBytes() int64 { return as.migratedBytes }
+
+// DrainMigratedBytes returns the migration volume accumulated since the
+// previous call and resets the accumulator. The simulation engine calls
+// this each tick to charge migration bandwidth.
+func (as *AddressSpace) DrainMigratedBytes() int64 {
+	v := as.pendingMigrated
+	as.pendingMigrated = 0
+	return v
+}
+
+// Name returns the segment name.
+func (s *Segment) Name() string { return s.name }
+
+// Start returns the segment's base virtual address.
+func (s *Segment) Start() uint64 { return s.start }
+
+// Length returns the segment length in bytes.
+func (s *Segment) Length() uint64 { return uint64(len(s.pages)) * PageSize }
+
+// PageCount returns the number of pages in the segment.
+func (s *Segment) PageCount() int { return len(s.pages) }
+
+// MappedPages returns how many pages have been faulted in.
+func (s *Segment) MappedPages() int { return s.mapped }
+
+// Owner returns SharedOwner or the owning node for private segments.
+func (s *Segment) Owner() topology.NodeID { return s.owner }
+
+// Node returns the node of page i, or Unmapped.
+func (s *Segment) Node(i int) topology.NodeID { return s.pages[i] }
+
+// Counts returns a copy of the per-node page counts.
+func (s *Segment) Counts() []int64 { return append([]int64(nil), s.counts...) }
+
+// Fractions returns the fraction of mapped pages on each node. If nothing
+// is mapped, all fractions are zero.
+func (s *Segment) Fractions() []float64 {
+	out := make([]float64, len(s.counts))
+	if s.mapped == 0 {
+		return out
+	}
+	for n, c := range s.counts {
+		out[n] = float64(c) / float64(s.mapped)
+	}
+	return out
+}
+
+// setPage maps or migrates page i to node n, maintaining counters.
+func (s *Segment) setPage(i int, n topology.NodeID) {
+	cur := s.pages[i]
+	if cur == n {
+		return
+	}
+	if cur != Unmapped {
+		s.counts[cur]--
+		s.as.migratedBytes += PageSize
+		s.as.pendingMigrated += PageSize
+	} else {
+		s.mapped++
+	}
+	s.pages[i] = n
+	s.counts[n]++
+}
+
+// Fault maps page i onto node n if it is unmapped (first-touch semantics).
+// It reports whether a new mapping was created.
+func (s *Segment) Fault(i int, n topology.NodeID) bool {
+	if s.pages[i] != Unmapped {
+		return false
+	}
+	s.setPage(i, n)
+	return true
+}
+
+// FaultAll first-touches every unmapped page of the segment onto node n.
+func (s *Segment) FaultAll(n topology.NodeID) {
+	for i := range s.pages {
+		s.Fault(i, n)
+	}
+}
+
+// canonicalNodeSet sorts node ids ascending and removes duplicates,
+// mirroring the kernel's bitmask representation of an interleave set.
+func canonicalNodeSet(nodes []topology.NodeID) []topology.NodeID {
+	out := append([]topology.NodeID(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, n := range out {
+		if i == 0 || n != out[i-1] {
+			dedup = append(dedup, n)
+		}
+	}
+	return dedup
+}
+
+// checkNodes validates a node set argument.
+func (s *Segment) checkNodes(nodes []topology.NodeID) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("mm: %s: empty node set", s.name)
+	}
+	for _, n := range nodes {
+		if int(n) < 0 || int(n) >= s.as.numNodes {
+			return fmt.Errorf("mm: %s: node %d out of range [0,%d)", s.name, n, s.as.numNodes)
+		}
+	}
+	return nil
+}
+
+// Mbind applies a uniform page interleave over the byte range
+// [offset, offset+length) of the segment, mirroring
+// mbind(MPOL_INTERLEAVE). The range is truncated to the segment and
+// page-aligned (offset rounded down, end rounded up). The node set is a
+// *set* — as in the kernel, where it is a bitmask — so caller order is
+// irrelevant: page p of the range targets the (p mod k)-th set node in
+// ascending id order, counted from the start of the range. Each mbind call
+// establishes its own interleave origin, and identical ranges re-bound over
+// the same set are no-ops; both properties are what keep Algorithm 1's
+// DWP steps incremental.
+//
+// With MoveFlag, mapped pages that violate the target are migrated
+// (MPOL_MF_MOVE); unmapped pages are always mapped to their target
+// (allocation under the policy).
+func (s *Segment) Mbind(offset, length uint64, nodes []topology.NodeID, flags Flags) error {
+	if err := s.checkNodes(nodes); err != nil {
+		return err
+	}
+	nodes = canonicalNodeSet(nodes)
+	if offset >= s.Length() || length == 0 {
+		return nil
+	}
+	end := offset + length
+	if end > s.Length() {
+		end = s.Length()
+	}
+	first := int(offset / PageSize)
+	last := int((end + PageSize - 1) / PageSize)
+	for p := first; p < last; p++ {
+		target := nodes[(p-first)%len(nodes)]
+		if s.pages[p] == Unmapped || flags&MoveFlag != 0 {
+			s.setPage(p, target)
+		}
+	}
+	return nil
+}
+
+// MbindWeighted applies the kernel-level weighted-interleave policy the
+// paper implements as a new system call (Section III-B2): pages are
+// assigned in a Bresenham-style weighted round-robin so that every prefix
+// of the segment approximates the weight distribution. Weights must have
+// one entry per node and a positive sum; they are normalized internally.
+func (s *Segment) MbindWeighted(weights []float64, flags Flags) error {
+	if len(weights) != s.as.numNodes {
+		return fmt.Errorf("mm: %s: %d weights for %d nodes", s.name, len(weights), s.as.numNodes)
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("mm: %s: negative weight %f for node %d", s.name, w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("mm: %s: weights sum to zero", s.name)
+	}
+	credit := make([]float64, len(weights))
+	for p := range s.pages {
+		best := -1
+		for n, w := range weights {
+			if w <= 0 {
+				continue
+			}
+			credit[n] += w / sum
+			if best == -1 || credit[n] > credit[best] {
+				best = n
+			}
+		}
+		credit[best]--
+		target := topology.NodeID(best)
+		if s.pages[p] == Unmapped || flags&MoveFlag != 0 {
+			s.setPage(p, target)
+		}
+	}
+	return nil
+}
+
+// MigrateToward moves up to maxBytes of mapped pages so the segment's
+// distribution approaches target (a fraction vector over nodes). Pages move
+// from the most over-represented nodes to the most under-represented ones.
+// It returns the bytes actually migrated. This is the primitive behind the
+// simulated AutoNUMA policy's rate-limited locality migrations.
+func (s *Segment) MigrateToward(target []float64, maxBytes int64) (int64, error) {
+	if len(target) != s.as.numNodes {
+		return 0, fmt.Errorf("mm: %s: %d target fractions for %d nodes", s.name, len(target), s.as.numNodes)
+	}
+	if s.mapped == 0 || maxBytes <= 0 {
+		return 0, nil
+	}
+	// Deficit (in pages) per node: positive = wants pages.
+	deficit := make([]int64, s.as.numNodes)
+	for n := range deficit {
+		want := int64(target[n] * float64(s.mapped))
+		deficit[n] = want - s.counts[n]
+	}
+	budget := maxBytes / PageSize
+	moved := int64(0)
+	if budget == 0 {
+		return 0, nil
+	}
+	// Single pass: re-home pages on over-represented nodes to the node with
+	// the largest deficit.
+	for i := range s.pages {
+		if budget == 0 {
+			break
+		}
+		cur := s.pages[i]
+		if cur == Unmapped || deficit[cur] >= 0 {
+			continue
+		}
+		best, bestDeficit := -1, int64(0)
+		for n, d := range deficit {
+			if d > bestDeficit {
+				best, bestDeficit = n, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		deficit[cur]++
+		deficit[best]--
+		s.setPage(i, topology.NodeID(best))
+		moved += PageSize
+		budget--
+	}
+	return moved, nil
+}

@@ -1,0 +1,180 @@
+// Package numaapi provides a libnuma-flavoured interface over the simulated
+// memory subsystem. BWAP is "implemented as an extension to Linux libnuma"
+// (Section I): it enriches the stock interface with a bw-interleaved policy.
+// This package supplies the stock part — node masks, uniform interleaving,
+// mbind wrappers — mirroring the names a libnuma user would reach for, so
+// that the core package's extension point matches the paper's.
+package numaapi
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bwap/internal/mm"
+	"bwap/internal/topology"
+)
+
+// Bitmask is a fixed-width node bitmask, the moral equivalent of libnuma's
+// struct bitmask. It supports machines with up to 64 nodes, which covers
+// every commodity NUMA system the paper considers.
+type Bitmask uint64
+
+// NewBitmask returns a mask with the given nodes set.
+func NewBitmask(nodes ...topology.NodeID) Bitmask {
+	var b Bitmask
+	for _, n := range nodes {
+		b = b.Set(n)
+	}
+	return b
+}
+
+// AllNodes returns a mask with nodes [0, n) set.
+func AllNodes(n int) Bitmask {
+	if n >= 64 {
+		return ^Bitmask(0)
+	}
+	return Bitmask(1)<<uint(n) - 1
+}
+
+// Set returns b with node n set.
+func (b Bitmask) Set(n topology.NodeID) Bitmask { return b | 1<<uint(n) }
+
+// Clear returns b with node n cleared.
+func (b Bitmask) Clear(n topology.NodeID) Bitmask { return b &^ (1 << uint(n)) }
+
+// IsSet reports whether node n is set.
+func (b Bitmask) IsSet(n topology.NodeID) bool { return b&(1<<uint(n)) != 0 }
+
+// Count returns the number of set nodes.
+func (b Bitmask) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Nodes returns the set nodes in ascending order.
+func (b Bitmask) Nodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, b.Count())
+	for v := uint64(b); v != 0; {
+		n := bits.TrailingZeros64(v)
+		out = append(out, topology.NodeID(n))
+		v &^= 1 << uint(n)
+	}
+	return out
+}
+
+// Union returns b ∪ o.
+func (b Bitmask) Union(o Bitmask) Bitmask { return b | o }
+
+// Intersect returns b ∩ o.
+func (b Bitmask) Intersect(o Bitmask) Bitmask { return b & o }
+
+// Complement returns the nodes of [0,n) not in b.
+func (b Bitmask) Complement(n int) Bitmask { return AllNodes(n) &^ b }
+
+// String renders the mask in numactl range syntax, e.g. "0-2,5".
+func (b Bitmask) String() string {
+	nodes := b.Nodes()
+	if len(nodes) == 0 {
+		return ""
+	}
+	var parts []string
+	start, prev := nodes[0], nodes[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, strconv.Itoa(int(start)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, n := range nodes[1:] {
+		if n == prev+1 {
+			prev = n
+			continue
+		}
+		flush()
+		start, prev = n, n
+	}
+	flush()
+	return strings.Join(parts, ",")
+}
+
+// ParseBitmask parses numactl range syntax ("0-2,5") into a mask.
+func ParseBitmask(s string) (Bitmask, error) {
+	var b Bitmask
+	if strings.TrimSpace(s) == "" {
+		return 0, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			l, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return 0, fmt.Errorf("numaapi: bad range %q: %v", part, err)
+			}
+			h, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return 0, fmt.Errorf("numaapi: bad range %q: %v", part, err)
+			}
+			if l > h || l < 0 || h > 63 {
+				return 0, fmt.Errorf("numaapi: bad range %q", part)
+			}
+			for n := l; n <= h; n++ {
+				b = b.Set(topology.NodeID(n))
+			}
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 63 {
+			return 0, fmt.Errorf("numaapi: bad node %q", part)
+		}
+		b = b.Set(topology.NodeID(n))
+	}
+	return b, nil
+}
+
+// InterleaveMemory applies numa_interleave_memory semantics: uniform page
+// interleaving of the whole segment over the masked nodes, migrating
+// non-conforming pages.
+func InterleaveMemory(seg *mm.Segment, mask Bitmask) error {
+	if mask.Count() == 0 {
+		return fmt.Errorf("numaapi: interleave with empty node mask")
+	}
+	return seg.Mbind(0, seg.Length(), mask.Nodes(), mm.MoveFlag)
+}
+
+// BindMemory applies numa_tonode_memory semantics: bind the whole segment
+// to one node, migrating pages.
+func BindMemory(seg *mm.Segment, node topology.NodeID) error {
+	return seg.Mbind(0, seg.Length(), []topology.NodeID{node}, mm.MoveFlag)
+}
+
+// MbindRange exposes raw mbind over a byte range of a segment with uniform
+// interleaving over the masked nodes — the call Algorithm 1 issues per
+// sub-range.
+func MbindRange(seg *mm.Segment, offset, length uint64, mask Bitmask, flags mm.Flags) error {
+	if mask.Count() == 0 {
+		return fmt.Errorf("numaapi: mbind with empty node mask")
+	}
+	return seg.Mbind(offset, length, mask.Nodes(), flags)
+}
+
+// WeightedInterleaveMemory applies the kernel-level weighted interleave
+// policy the paper adds behind a new system call (Section III-B2).
+func WeightedInterleaveMemory(seg *mm.Segment, weights []float64) error {
+	return seg.MbindWeighted(weights, mm.MoveFlag)
+}
+
+// SortedByWeight returns the masked nodes ordered by ascending weight —
+// the iteration order of Algorithm 1 ("getNodeWithMinWeight"). Ties break
+// by node id for determinism.
+func SortedByWeight(weights []float64, mask Bitmask) []topology.NodeID {
+	nodes := mask.Nodes()
+	sort.SliceStable(nodes, func(i, j int) bool {
+		wi, wj := weights[nodes[i]], weights[nodes[j]]
+		if wi != wj {
+			return wi < wj
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes
+}

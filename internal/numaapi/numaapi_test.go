@@ -1,0 +1,171 @@
+package numaapi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bwap/internal/mm"
+	"bwap/internal/topology"
+)
+
+func TestBitmaskBasics(t *testing.T) {
+	b := NewBitmask(0, 2, 5)
+	if !b.IsSet(0) || !b.IsSet(2) || !b.IsSet(5) || b.IsSet(1) {
+		t.Fatalf("membership wrong: %b", b)
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	b = b.Clear(2)
+	if b.IsSet(2) || b.Count() != 2 {
+		t.Fatalf("Clear failed: %b", b)
+	}
+}
+
+func TestBitmaskNodesSorted(t *testing.T) {
+	b := NewBitmask(7, 1, 4)
+	nodes := b.Nodes()
+	want := []topology.NodeID{1, 4, 7}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestAllNodesAndComplement(t *testing.T) {
+	all := AllNodes(8)
+	if all.Count() != 8 {
+		t.Fatalf("AllNodes(8).Count = %d", all.Count())
+	}
+	workers := NewBitmask(0, 1)
+	non := workers.Complement(8)
+	if non.Count() != 6 || non.IsSet(0) || non.IsSet(1) {
+		t.Fatalf("Complement wrong: %v", non.Nodes())
+	}
+	if AllNodes(64).Count() != 64 {
+		t.Fatalf("AllNodes(64) = %d bits", AllNodes(64).Count())
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := NewBitmask(0, 1), NewBitmask(1, 2)
+	if got := a.Union(b); got.Count() != 3 {
+		t.Fatalf("Union = %v", got.Nodes())
+	}
+	if got := a.Intersect(b); got.Count() != 1 || !got.IsSet(1) {
+		t.Fatalf("Intersect = %v", got.Nodes())
+	}
+}
+
+func TestBitmaskString(t *testing.T) {
+	cases := []struct {
+		mask Bitmask
+		want string
+	}{
+		{NewBitmask(), ""},
+		{NewBitmask(3), "3"},
+		{NewBitmask(0, 1, 2), "0-2"},
+		{NewBitmask(0, 1, 2, 5), "0-2,5"},
+		{NewBitmask(0, 2, 3, 4, 7), "0,2-4,7"},
+	}
+	for _, c := range cases {
+		if got := c.mask.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.mask.Nodes(), got, c.want)
+		}
+	}
+}
+
+func TestParseBitmask(t *testing.T) {
+	b, err := ParseBitmask("0-2,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != NewBitmask(0, 1, 2, 5) {
+		t.Fatalf("parsed %v", b.Nodes())
+	}
+	if _, err := ParseBitmask("2-1"); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := ParseBitmask("x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if b, err := ParseBitmask(""); err != nil || b != 0 {
+		t.Fatal("empty string must parse to empty mask")
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		b := Bitmask(raw)
+		parsed, err := ParseBitmask(b.String())
+		return err == nil && parsed == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveMemory(t *testing.T) {
+	as := mm.NewAddressSpace(4)
+	seg := as.AddSegment("d", mm.PageSize*8, mm.SharedOwner)
+	if err := InterleaveMemory(seg, NewBitmask(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c := seg.Counts()
+	if c[0] != 4 || c[2] != 4 {
+		t.Fatalf("counts = %v", c)
+	}
+	if err := InterleaveMemory(seg, NewBitmask()); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+}
+
+func TestBindMemory(t *testing.T) {
+	as := mm.NewAddressSpace(4)
+	seg := as.AddSegment("d", mm.PageSize*8, mm.SharedOwner)
+	seg.FaultAll(0)
+	if err := BindMemory(seg, 3); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Counts()[3] != 8 {
+		t.Fatalf("counts = %v", seg.Counts())
+	}
+}
+
+func TestMbindRange(t *testing.T) {
+	as := mm.NewAddressSpace(4)
+	seg := as.AddSegment("d", mm.PageSize*8, mm.SharedOwner)
+	if err := MbindRange(seg, 0, 4*mm.PageSize, NewBitmask(1), mm.MoveFlag); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Counts()[1] != 4 {
+		t.Fatalf("counts = %v", seg.Counts())
+	}
+	if err := MbindRange(seg, 0, mm.PageSize, NewBitmask(), 0); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+}
+
+func TestWeightedInterleaveMemory(t *testing.T) {
+	as := mm.NewAddressSpace(4)
+	seg := as.AddSegment("d", mm.PageSize*100, mm.SharedOwner)
+	if err := WeightedInterleaveMemory(seg, []float64{0.7, 0.3, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c := seg.Counts()
+	if c[0] != 70 || c[1] != 30 {
+		t.Fatalf("counts = %v, want [70 30 0 0]", c)
+	}
+}
+
+func TestSortedByWeight(t *testing.T) {
+	w := []float64{0.4, 0.1, 0.1, 0.4}
+	got := SortedByWeight(w, NewBitmask(0, 1, 2, 3))
+	want := []topology.NodeID{1, 2, 0, 3} // ties break by id
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedByWeight = %v, want %v", got, want)
+		}
+	}
+}

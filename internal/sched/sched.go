@@ -1,0 +1,111 @@
+// Package sched implements the thread-placement side of the deployment:
+// choosing worker node sets and pinning threads to cores. The paper
+// delegates this to prior work and adopts AsymSched's rule of thumb
+// (Section IV): group threads on the subset of worker nodes with the
+// highest aggregate inter-worker bandwidth, then pin one thread per core.
+package sched
+
+import (
+	"fmt"
+
+	"bwap/internal/topology"
+)
+
+// InterWorkerBW scores a candidate worker set: the sum of nominal
+// bandwidths over all ordered pairs of distinct workers. For a single
+// worker the score is its local bandwidth.
+func InterWorkerBW(m *topology.Machine, workers []topology.NodeID) float64 {
+	if len(workers) == 1 {
+		return m.NominalBW(workers[0], workers[0])
+	}
+	total := 0.0
+	for _, a := range workers {
+		for _, b := range workers {
+			if a != b {
+				total += m.NominalBW(a, b)
+			}
+		}
+	}
+	return total
+}
+
+// BestWorkerSet returns the k-node worker set with the highest aggregate
+// inter-worker bandwidth (the AsymSched rule), breaking ties toward the
+// lexicographically smallest set so the choice is deterministic.
+func BestWorkerSet(m *topology.Machine, k int) ([]topology.NodeID, error) {
+	n := m.NumNodes()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("sched: worker count %d out of [1,%d]", k, n)
+	}
+	var best []topology.NodeID
+	bestScore := -1.0
+	cur := make([]topology.NodeID, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			if score := InterWorkerBW(m, cur); score > bestScore+1e-12 {
+				bestScore = score
+				best = append([]topology.NodeID(nil), cur...)
+			}
+			return
+		}
+		// Prune: not enough nodes left.
+		need := k - len(cur)
+		for i := start; i <= n-need; i++ {
+			cur = append(cur, topology.NodeID(i))
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// RemainingNodes returns the machine's nodes not in the worker set, in
+// ascending order — where a co-scheduled high-priority application runs.
+func RemainingNodes(m *topology.Machine, workers []topology.NodeID) []topology.NodeID {
+	used := make(map[topology.NodeID]bool, len(workers))
+	for _, w := range workers {
+		used[w] = true
+	}
+	var out []topology.NodeID
+	for i := 0; i < m.NumNodes(); i++ {
+		if !used[topology.NodeID(i)] {
+			out = append(out, topology.NodeID(i))
+		}
+	}
+	return out
+}
+
+// DistributeThreads spreads t threads across the workers as evenly as
+// possible (the paper's canonical model assumes t is a multiple of the
+// worker count; this handles the general case by giving earlier workers the
+// remainder). The result maps worker position to thread count.
+func DistributeThreads(t int, workers int) ([]int, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("sched: no workers")
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("sched: negative thread count %d", t)
+	}
+	out := make([]int, workers)
+	base, rem := t/workers, t%workers
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out, nil
+}
+
+// PinAllCores returns the thread distribution that pins one thread per
+// hardware thread of every worker node — how the paper deploys every
+// benchmark ("we pin each thread to a distinct core").
+func PinAllCores(m *topology.Machine, workers []topology.NodeID) []int {
+	out := make([]int, len(workers))
+	for i, w := range workers {
+		out[i] = m.Node(w).Cores
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"testing"
+
+	"bwap/internal/topology"
+)
+
+func TestBestWorkerSetSingle(t *testing.T) {
+	// With one worker the score is local bandwidth; Machine A's fastest
+	// local controllers are nodes 4..7 (10.5 GB/s), so node 4 wins ties.
+	m := topology.MachineA()
+	w, err := BestWorkerSet(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 1 || w[0] != 4 {
+		t.Fatalf("BestWorkerSet(1) = %v, want [4]", w)
+	}
+}
+
+func TestBestWorkerSetPairPrefersSamePackage(t *testing.T) {
+	// Same-package pairs have the highest inter-worker BW (5.4-5.5 GB/s
+	// both ways on Machine A).
+	m := topology.MachineA()
+	w, err := BestWorkerSet(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("set size %d", len(w))
+	}
+	// Must be one of the same-package pairs.
+	if !(w[0]/2 == w[1]/2 && w[1] == w[0]+1) {
+		t.Fatalf("BestWorkerSet(2) = %v, want a same-package pair", w)
+	}
+}
+
+func TestBestWorkerSetFull(t *testing.T) {
+	m := topology.MachineB()
+	w, err := BestWorkerSet(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 4 {
+		t.Fatalf("full set size %d", len(w))
+	}
+}
+
+func TestBestWorkerSetErrors(t *testing.T) {
+	m := topology.MachineB()
+	if _, err := BestWorkerSet(m, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := BestWorkerSet(m, 5); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestBestWorkerSetDeterministic(t *testing.T) {
+	m := topology.MachineA()
+	a, _ := BestWorkerSet(m, 3)
+	b, _ := BestWorkerSet(m, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestInterWorkerBWSymmetricMachine(t *testing.T) {
+	m := topology.Symmetric(4, 4, 20, 10)
+	// Any pair scores 2×10 on a symmetric machine.
+	if got := InterWorkerBW(m, []topology.NodeID{0, 1}); got != 20 {
+		t.Fatalf("pair score = %v, want 20", got)
+	}
+	if got := InterWorkerBW(m, []topology.NodeID{2}); got != 20 {
+		t.Fatalf("single score = %v, want local 20", got)
+	}
+}
+
+func TestRemainingNodes(t *testing.T) {
+	m := topology.MachineA()
+	rest := RemainingNodes(m, []topology.NodeID{0, 1})
+	if len(rest) != 6 {
+		t.Fatalf("remaining = %v", rest)
+	}
+	for _, r := range rest {
+		if r == 0 || r == 1 {
+			t.Fatalf("worker leaked into remaining: %v", rest)
+		}
+	}
+	if len(RemainingNodes(m, nil)) != 8 {
+		t.Fatal("empty worker set must leave all nodes")
+	}
+}
+
+func TestDistributeThreads(t *testing.T) {
+	got, err := DistributeThreads(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 2, 2}
+	sum := 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DistributeThreads = %v, want %v", got, want)
+		}
+		sum += got[i]
+	}
+	if sum != 10 {
+		t.Fatalf("threads lost: %d", sum)
+	}
+	if _, err := DistributeThreads(4, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := DistributeThreads(-1, 2); err == nil {
+		t.Fatal("negative threads accepted")
+	}
+}
+
+func TestPinAllCores(t *testing.T) {
+	m := topology.MachineB() // 7 cores per node
+	got := PinAllCores(m, []topology.NodeID{0, 2})
+	if len(got) != 2 || got[0] != 7 || got[1] != 7 {
+		t.Fatalf("PinAllCores = %v", got)
+	}
+}

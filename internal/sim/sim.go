@@ -1,0 +1,616 @@
+// Package sim is the discrete-time execution engine of the reproduction.
+//
+// It binds together a machine (topology), its contended memory system
+// (memsys), per-application address spaces (mm) and simulated performance
+// counters (perf), then advances simulated time in fixed ticks. Each tick:
+//
+//  1. every running application turns its per-thread memory demand
+//     (workload.Spec) into flows, split by page class (shared vs
+//     thread-private) and by the current page placement of each class's
+//     segments, throttled by the placement-weighted mean access latency;
+//  2. the flow set of all co-scheduled applications is solved jointly for
+//     demand-bounded max-min fair rates;
+//  3. achieved bandwidth becomes application progress (scaled by parallel
+//     efficiency), pays for any pending page-migration traffic, and is
+//     accounted into PMU-style counters (stalled cycles, per-node and
+//     per-pair throughput);
+//  4. controller utilization feeds back into next tick's access latency
+//     (queueing), and registered hooks — the BWAP tuners, AutoNUMA — run.
+//
+// Execution time of an application is the simulated time at which its work
+// volume completes, the metric every figure of the paper reports.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"bwap/internal/memsys"
+	"bwap/internal/mm"
+	"bwap/internal/perf"
+	"bwap/internal/sched"
+	"bwap/internal/stats"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// Placer is a page-placement policy: it performs the initial placement of
+// an application's segments when the application starts. Policies that also
+// act at runtime (AutoNUMA, the BWAP DWP tuner) additionally implement Hook
+// and register themselves with the engine.
+type Placer interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Place performs the initial placement of app's address space.
+	Place(e *Engine, app *App) error
+}
+
+// Hook runs at the end of every engine tick, after counters are updated.
+type Hook interface {
+	Tick(e *Engine)
+}
+
+// Config tunes the engine. The zero value is completed by defaults.
+type Config struct {
+	// DT is the tick length in simulated seconds (default 0.1).
+	DT float64
+	// MaxTime aborts the run after this much simulated time (default 3600).
+	MaxTime float64
+	// Mem configures the contention model (default memsys.DefaultConfig).
+	Mem memsys.Config
+	// MigrationGBs is the bandwidth budget for draining page-migration
+	// backlog, per application (default 2.0 GB/s). Migration traffic is
+	// stolen from the application's achieved bandwidth, which is how the
+	// DWP tuner's overhead arises.
+	MigrationGBs float64
+	// LatQueueFactor scales the utilization-dependent latency multiplier
+	// on loaded memory controllers: mult = 1 + f·u²/(1.02−u) (default 0.35).
+	LatQueueFactor float64
+	// LatSmoothing is the exponential smoothing factor for the latency
+	// feedback across ticks, in (0,1] (default 0.5).
+	LatSmoothing float64
+	// DemandFactor uniformly scales per-thread demand on this machine
+	// relative to the Table I reference measurement (default 1.0). The
+	// Machine A experiment profile raises it: its cores were measured to
+	// saturate their far weaker controllers (Section II).
+	DemandFactor float64
+	// StableAfter is the simulated time after an application's start at
+	// which it enters its stable phase and calls BWAP-init (default 1.0 s).
+	StableAfter float64
+	// Seed derives the noise streams of any samplers hooks create.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DT <= 0 {
+		c.DT = 0.1
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = 3600
+	}
+	if c.Mem == (memsys.Config{}) {
+		c.Mem = memsys.DefaultConfig()
+	}
+	if c.MigrationGBs <= 0 {
+		c.MigrationGBs = 2.0
+	}
+	if c.LatQueueFactor == 0 {
+		c.LatQueueFactor = 0.35
+	}
+	if c.LatSmoothing <= 0 || c.LatSmoothing > 1 {
+		c.LatSmoothing = 0.5
+	}
+	if c.DemandFactor <= 0 {
+		c.DemandFactor = 1.0
+	}
+	if c.StableAfter <= 0 {
+		c.StableAfter = 1.0
+	}
+	return c
+}
+
+// App is one running application instance.
+type App struct {
+	Name    string
+	Spec    workload.Spec
+	Workers []topology.NodeID
+	// Threads[i] is the thread count pinned on Workers[i] (one per core by
+	// default, the paper's deployment rule).
+	Threads []int
+	// AS is the application's simulated address space.
+	AS *mm.AddressSpace
+	// Counters accumulates the app's simulated PMU state.
+	Counters *perf.Counters
+	// Background marks co-runners that never finish (Swaptions); the run
+	// ends when all foreground apps finish.
+	Background bool
+
+	placer      Placer
+	shared      *mm.Segment
+	priv        map[topology.NodeID]*mm.Segment
+	workerIndex map[topology.NodeID]int
+
+	start float64
+	// progressGB[i] tracks the work completed by the threads of Workers[i];
+	// the run finishes when the slowest worker completes its share — the
+	// "slowest worker dominates" semantic of the paper's Equation 3.
+	progressGB   []float64
+	workGB       float64
+	migBacklogGB float64
+	done         bool
+	finish       float64
+
+	lastStallFrac float64
+	lastAchieved  float64
+	lastDemand    float64
+}
+
+// SharedSegment returns the app's shared-data segment (nil if the workload
+// has no shared accesses).
+func (a *App) SharedSegment() *mm.Segment { return a.shared }
+
+// PrivateSegment returns the private segment owned by worker node w, or nil.
+func (a *App) PrivateSegment(w topology.NodeID) *mm.Segment { return a.priv[w] }
+
+// Segments returns all of the app's segments.
+func (a *App) Segments() []*mm.Segment { return a.AS.Segments() }
+
+// Done reports whether the app completed its work.
+func (a *App) Done() bool { return a.done }
+
+// FinishTime returns the simulated completion time; meaningless until Done.
+func (a *App) FinishTime() float64 { return a.finish }
+
+// Progress returns total completed work in equivalent GB, summed over
+// workers.
+func (a *App) Progress() float64 {
+	total := 0.0
+	for _, p := range a.progressGB {
+		total += p
+	}
+	return total
+}
+
+// WorkerProgress returns the completed work of Workers[i] in GB.
+func (a *App) WorkerProgress(i int) float64 { return a.progressGB[i] }
+
+// StallFraction returns the stall fraction of the most recent tick.
+func (a *App) StallFraction() float64 { return a.lastStallFrac }
+
+// AchievedGBs returns the achieved bandwidth of the most recent tick.
+func (a *App) AchievedGBs() float64 { return a.lastAchieved }
+
+// DemandGBs returns the unthrottled demand of the most recent tick.
+func (a *App) DemandGBs() float64 { return a.lastDemand }
+
+// Placer returns the app's placement policy.
+func (a *App) Placer() Placer { return a.placer }
+
+// StableSince returns the simulated time at which the app entered (or will
+// enter) its stable phase.
+func (a *App) StableSince(cfg Config) float64 { return a.start + cfg.withDefaults().StableAfter }
+
+// Engine advances a set of co-scheduled applications through simulated time.
+type Engine struct {
+	M   *topology.Machine
+	Sys *memsys.System
+	Cfg Config
+
+	apps    []*App
+	hooks   []Hook
+	now     float64
+	ticks   int
+	latMult []float64
+	rng     *rngState
+}
+
+type rngState struct{ next uint64 }
+
+// New returns an engine for the machine.
+func New(m *topology.Machine, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	lat := make([]float64, m.NumNodes())
+	for i := range lat {
+		lat[i] = 1
+	}
+	return &Engine{
+		M:       m,
+		Sys:     memsys.New(m, cfg.Mem),
+		Cfg:     cfg,
+		latMult: lat,
+		rng:     &rngState{next: cfg.Seed},
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Ticks returns the number of completed ticks.
+func (e *Engine) Ticks() int { return e.ticks }
+
+// Apps returns the registered applications.
+func (e *Engine) Apps() []*App { return e.apps }
+
+// NextSeed returns a fresh deterministic seed derived from the engine seed,
+// for hooks that need their own noise streams.
+func (e *Engine) NextSeed() uint64 {
+	e.rng.next = e.rng.next*0x5851f42d4c957f2d + 0x14057b7ef767814f
+	return e.rng.next
+}
+
+// AddHook registers a per-tick hook.
+func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
+
+// AddApp registers an application on the given worker nodes with one thread
+// pinned per core, creating its address space (one shared segment plus one
+// private segment per worker, sized by the spec).
+func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.NodeID, placer Placer) (*App, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if placer == nil {
+		return nil, fmt.Errorf("sim: app %s has no placer", name)
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("sim: app %s has no workers", name)
+	}
+	seen := make(map[topology.NodeID]bool)
+	for _, w := range workers {
+		if int(w) < 0 || int(w) >= e.M.NumNodes() {
+			return nil, fmt.Errorf("sim: app %s worker %d out of range", name, w)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("sim: app %s duplicate worker %d", name, w)
+		}
+		seen[w] = true
+	}
+	for _, other := range e.apps {
+		if other.Name == name {
+			return nil, fmt.Errorf("sim: duplicate app name %q", name)
+		}
+	}
+	app := &App{
+		Name:        name,
+		Spec:        spec,
+		Workers:     append([]topology.NodeID(nil), workers...),
+		Threads:     sched.PinAllCores(e.M, workers),
+		AS:          mm.NewAddressSpace(e.M.NumNodes()),
+		Counters:    perf.NewCounters(e.M.NumNodes()),
+		Background:  spec.ComputeBound,
+		placer:      placer,
+		priv:        make(map[topology.NodeID]*mm.Segment),
+		workerIndex: make(map[topology.NodeID]int, len(workers)),
+		progressGB:  make([]float64, len(workers)),
+		workGB:      spec.WorkGB,
+		start:       e.now,
+	}
+	for i, w := range app.Workers {
+		app.workerIndex[w] = i
+	}
+	if spec.SharedGB > 0 {
+		app.shared = app.AS.AddSegment("shared", uint64(spec.SharedGB*float64(1<<30)), mm.SharedOwner)
+	}
+	if spec.PrivateGBPerNode > 0 {
+		for _, w := range workers {
+			app.priv[w] = app.AS.AddSegment(fmt.Sprintf("priv-n%d", w),
+				uint64(spec.PrivateGBPerNode*float64(1<<30)), w)
+		}
+	}
+	e.apps = append(e.apps, app)
+	return app, nil
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Times maps foreground app names to completion times in simulated
+	// seconds.
+	Times map[string]float64
+	// AvgStallRate maps app names (including background apps) to their
+	// lifetime average stalled cycles per second.
+	AvgStallRate map[string]float64
+	// Elapsed is the total simulated duration of the run.
+	Elapsed float64
+	// TimedOut reports that MaxTime was hit before all foreground apps
+	// finished.
+	TimedOut bool
+}
+
+// Run places every app, then ticks until all foreground apps complete (or
+// MaxTime elapses). It may be called once per engine.
+func (e *Engine) Run() (*Result, error) {
+	foreground := 0
+	for _, a := range e.apps {
+		if !a.Background {
+			foreground++
+		}
+	}
+	if foreground == 0 {
+		return nil, fmt.Errorf("sim: no foreground applications")
+	}
+	for _, a := range e.apps {
+		if err := a.placer.Place(e, a); err != nil {
+			return nil, fmt.Errorf("sim: placing %s with %s: %w", a.Name, a.placer.Name(), err)
+		}
+		for _, seg := range a.AS.Segments() {
+			if seg.MappedPages() != seg.PageCount() {
+				return nil, fmt.Errorf("sim: %s: policy %s left %d/%d pages of %s unmapped",
+					a.Name, a.placer.Name(), seg.PageCount()-seg.MappedPages(), seg.PageCount(), seg.Name())
+			}
+		}
+		// The initial allocation-time placement is not a migration; the
+		// backlog starts clean.
+		a.AS.DrainMigratedBytes()
+	}
+	for !e.allForegroundDone() {
+		if e.now >= e.Cfg.MaxTime {
+			return e.result(true), nil
+		}
+		e.tick()
+	}
+	return e.result(false), nil
+}
+
+func (e *Engine) allForegroundDone() bool {
+	for _, a := range e.apps {
+		if !a.Background && !a.done {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) result(timedOut bool) *Result {
+	res := &Result{
+		Times:        make(map[string]float64),
+		AvgStallRate: make(map[string]float64),
+		Elapsed:      e.now,
+		TimedOut:     timedOut,
+	}
+	for _, a := range e.apps {
+		if !a.Background {
+			t := a.finish
+			if !a.done {
+				t = math.Inf(1)
+			}
+			res.Times[a.Name] = t
+		}
+		res.AvgStallRate[a.Name] = a.Counters.AvgStallRate()
+	}
+	return res
+}
+
+// flowMeta carries per-flow attribution through the solver.
+type flowMeta struct {
+	app      *App
+	private  bool
+	src, dst topology.NodeID
+	// rawRatio converts controller-equivalent rate back to raw bytes.
+	rawRatio float64
+	// readFrac splits raw bytes into reads vs writes.
+	readFrac float64
+}
+
+// tick advances the simulation by one DT.
+func (e *Engine) tick() {
+	dt := e.Cfg.DT
+	var flows []memsys.Flow
+	var metas []flowMeta
+
+	for _, a := range e.apps {
+		if a.done {
+			continue
+		}
+		a.lastDemand = 0
+		phase := 1.0
+		kappaFactor := 1.0
+		if len(a.Spec.Phases) > 0 && a.workGB > 0 {
+			phase, kappaFactor = a.Spec.PhaseAt(a.Progress() / a.workGB)
+		}
+		if a.Spec.InitSeconds > 0 && e.now-a.start < a.Spec.InitSeconds {
+			// Initialization phases (allocation, input parsing) have
+			// erratic memory behaviour — the reason the paper defers
+			// BWAP-init to the stable phase. A deterministic pseudo-random
+			// burst pattern around the init demand level models that: the
+			// MAPI phase detector must not see a steady signal before the
+			// boundary.
+			slot := uint64((e.now - a.start) / 0.3)
+			h := slot*2654435761 + 0x9e3779b9
+			h ^= h >> 13
+			u := float64(h%1000) / 1000
+			phase = a.Spec.InitDemandFactor * (0.3 + 1.4*u)
+			kappaFactor = 1
+		}
+		perThreadRead := a.Spec.PerThreadReadGBs() * e.Cfg.DemandFactor * phase
+		perThreadWrite := a.Spec.PerThreadWriteGBs() * e.Cfg.DemandFactor * phase
+		rawPerThread := perThreadRead + perThreadWrite
+		eqPerThread := e.Cfg.Mem.EquivalentDemand(perThreadRead, perThreadWrite)
+		readFrac := 0.0
+		if rawPerThread > 0 {
+			readFrac = perThreadRead / rawPerThread
+		}
+		rawRatio := 0.0
+		if eqPerThread > 0 {
+			rawRatio = rawPerThread / eqPerThread
+		}
+
+		for wi, w := range a.Workers {
+			threads := a.Threads[wi]
+			eqNode := eqPerThread * float64(threads)
+			classes := []struct {
+				private bool
+				frac    float64
+				seg     *mm.Segment
+			}{
+				{false, a.Spec.SharedFrac(), a.shared},
+				{true, a.Spec.PrivateFrac, a.priv[w]},
+			}
+			first := true
+			for _, cl := range classes {
+				if cl.frac <= 0 || cl.seg == nil {
+					continue
+				}
+				eqClass := eqNode * cl.frac
+				a.lastDemand += eqClass
+				fr := cl.seg.Fractions()
+				throttle := e.throttle(a.Spec.LatencySensitivity*kappaFactor, fr, w)
+				for s, f := range fr {
+					if f <= 0 {
+						continue
+					}
+					streams := -1 // already counted for this (app, worker)
+					if first {
+						streams = threads
+					}
+					flows = append(flows, memsys.Flow{
+						Src:     topology.NodeID(s),
+						Dst:     w,
+						Demand:  eqClass * throttle * f,
+						Streams: streams,
+						Tag:     len(metas),
+					})
+					metas = append(metas, flowMeta{
+						app: a, private: cl.private,
+						src: topology.NodeID(s), dst: w,
+						rawRatio: rawRatio, readFrac: readFrac,
+					})
+					first = false
+				}
+			}
+		}
+	}
+
+	res := e.Sys.Solve(flows)
+
+	// Attribute achieved rates, per app and per worker node. Progress is
+	// accounted in raw bytes (reads+writes), so write-heavy workloads pay
+	// the controller's write penalty in completion time.
+	achieved := make(map[*App]float64)
+	achievedByWorker := make(map[*App][]float64)
+	rawRatioOf := make(map[*App]float64)
+	for i, f := range flows {
+		meta := metas[f.Tag]
+		rate := res.Rates[i]
+		achieved[meta.app] += rate
+		byWorker := achievedByWorker[meta.app]
+		if byWorker == nil {
+			byWorker = make([]float64, len(meta.app.Workers))
+			achievedByWorker[meta.app] = byWorker
+		}
+		byWorker[meta.app.workerIndex[meta.dst]] += rate
+		rawRatioOf[meta.app] = meta.rawRatio
+		bytes := rate * 1e9 * dt
+		c := meta.app.Counters
+		c.NodeOutBytes[meta.src] += bytes
+		c.PairBytes[meta.src][meta.dst] += bytes
+		raw := bytes * meta.rawRatio
+		c.BytesRead += raw * meta.readFrac
+		c.BytesWritten += raw * (1 - meta.readFrac)
+		if meta.private {
+			c.PrivateBytes += raw
+		} else {
+			c.SharedBytes += raw
+		}
+	}
+
+	for _, a := range e.apps {
+		if a.done {
+			continue
+		}
+		ach := achieved[a]
+		// Page migration steals bandwidth from the app (bounded so the app
+		// always keeps making some progress, as the kernel's rate-limited
+		// migration does).
+		a.migBacklogGB += float64(a.AS.DrainMigratedBytes()) / 1e9
+		migCost := math.Min(a.migBacklogGB, e.Cfg.MigrationGBs*dt)
+		migCost = math.Min(migCost, 0.5*ach*dt)
+		a.migBacklogGB -= migCost
+		achEff := ach - migCost/dt
+
+		stall := 0.0
+		if a.lastDemand > 0 {
+			stall = stats.Clamp(1-achEff/a.lastDemand, 0, 1)
+		}
+		a.lastStallFrac = stall
+		a.lastAchieved = achEff
+		a.Counters.Time += dt
+		a.Counters.Cycles += perf.ClockHz * dt
+		a.Counters.StalledCycles += stall * perf.ClockHz * dt
+		// Retired instructions: unstalled cycles at nominal IPC 1 — the
+		// denominator of the MAPI classification metric.
+		a.Counters.Instructions += (1 - stall) * perf.ClockHz * dt
+
+		if !a.Background {
+			eta := a.Spec.ParallelEfficiency(len(a.Workers))
+			// Migration cost scales every worker's useful bandwidth down
+			// uniformly.
+			scale := 1.0
+			if ach > 0 {
+				scale = achEff / ach
+			}
+			share := a.workGB / float64(len(a.Workers))
+			allDone := true
+			lastFraction := 0.0
+			for wi := range a.Workers {
+				before := a.progressGB[wi]
+				delta := 0.0
+				if byWorker := achievedByWorker[a]; byWorker != nil {
+					delta = byWorker[wi] * rawRatioOf[a] * scale * eta * dt
+				}
+				a.progressGB[wi] = before + delta
+				if a.progressGB[wi] < share {
+					allDone = false
+					continue
+				}
+				if before < share && delta > 0 {
+					// This worker crossed its share within this tick;
+					// remember the latest crossing point for interpolation.
+					if f := (share - before) / delta; f > lastFraction {
+						lastFraction = f
+					}
+				}
+			}
+			if allDone {
+				a.done = true
+				a.finish = e.now + dt*stats.Clamp(lastFraction, 0, 1)
+				if lastFraction == 0 {
+					a.finish = e.now + dt
+				}
+			}
+		}
+	}
+
+	// Latency feedback: loaded controllers answer slower next tick.
+	sm := e.Cfg.LatSmoothing
+	for i, u := range res.ControllerUtil {
+		u = stats.Clamp(u, 0, 1)
+		target := 1 + e.Cfg.LatQueueFactor*u*u/(1.02-u)
+		e.latMult[i] = (1-sm)*e.latMult[i] + sm*target
+	}
+
+	for _, h := range e.hooks {
+		h.Tick(e)
+	}
+	e.now += dt
+	e.ticks++
+}
+
+// throttle computes the latency-driven demand suppression for a worker on
+// node w whose pages are spread per fr: 1/(1+κ·(L̄/L_local − 1)), where L̄
+// uses the utilization-inflated latencies of the previous tick.
+func (e *Engine) throttle(kappa float64, fr []float64, w topology.NodeID) float64 {
+	if kappa <= 0 {
+		return 1
+	}
+	lbar := 0.0
+	for s, f := range fr {
+		if f <= 0 {
+			continue
+		}
+		lbar += f * e.M.LatencyNs(topology.NodeID(s), w) * e.latMult[s]
+	}
+	local := e.M.LatencyNs(w, w)
+	if lbar <= local {
+		return 1
+	}
+	return 1 / (1 + kappa*(lbar/local-1))
+}

@@ -1,0 +1,210 @@
+package sim_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bwap/internal/memsys"
+	"bwap/internal/sim"
+	"bwap/internal/stats"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// TestConservationNoOverAccounting: the traffic accounted into an app's
+// counters can never exceed what the machine's controllers could have
+// served in the elapsed time.
+func TestConservationNoOverAccounting(t *testing.T) {
+	m := topology.MachineB()
+	rng := stats.NewRand(77)
+	f := func(seedRaw uint16) bool {
+		read := 5 + rng.Float64()*40
+		write := rng.Float64() * 10
+		priv := rng.Float64()
+		spec := workload.Spec{
+			Name: "p", ReadGBs: read, WriteGBs: write, PrivateFrac: priv,
+			LatencySensitivity: rng.Float64(), WorkGB: 30 + rng.Float64()*50,
+			SharedGB: 0.016, PrivateGBPerNode: 0.016,
+		}
+		workers := []topology.NodeID{topology.NodeID(rng.IntN(4))}
+		e := sim.New(m, sim.Config{Seed: uint64(seedRaw)})
+		app, err := e.AddApp("p", spec, workers, testPlacer{"uniform-all"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Aggregate controller capacity bound (generous: ignores links).
+		totalCap := 0.0
+		for i := 0; i < m.NumNodes(); i++ {
+			totalCap += m.Node(topology.NodeID(i)).ControllerGBs
+		}
+		elapsed := res.Elapsed
+		rawAccounted := (app.Counters.BytesRead + app.Counters.BytesWritten) / 1e9
+		return rawAccounted <= totalCap*elapsed*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStallFractionBounds: the per-tick stall fraction stays within [0,1]
+// for arbitrary workloads, so StalledCycles never exceeds Cycles.
+func TestStallFractionBounds(t *testing.T) {
+	m := topology.MachineA()
+	rng := stats.NewRand(123)
+	f := func(_ uint8) bool {
+		spec := workload.Spec{
+			Name: "p", ReadGBs: 1 + rng.Float64()*100, WriteGBs: rng.Float64() * 30,
+			PrivateFrac:        rng.Float64(),
+			LatencySensitivity: rng.Float64() * 2,
+			WorkGB:             20 + rng.Float64()*40,
+			SharedGB:           0.016, PrivateGBPerNode: 0.016,
+		}
+		nw := 1 + rng.IntN(4)
+		workers := make([]topology.NodeID, nw)
+		for i := range workers {
+			workers[i] = topology.NodeID(i * 2)
+		}
+		e := sim.New(m, sim.Config{})
+		app, err := e.AddApp("p", spec, workers, testPlacer{"uniform-workers"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		c := app.Counters
+		return c.StalledCycles >= 0 && c.StalledCycles <= c.Cycles+1e-6 &&
+			c.Instructions >= 0 && c.Instructions <= c.Cycles+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerProgressSumsToWork: on completion, every worker finished its
+// share (the Eq. 3 semantics) and total progress covers the work volume.
+func TestWorkerProgressSumsToWork(t *testing.T) {
+	m := topology.MachineB()
+	spec := smallSpec(10, 2, 0.3, 0.1, 40)
+	e := sim.New(m, sim.Config{})
+	app, err := e.AddApp("p", spec, []topology.NodeID{0, 2}, testPlacer{"uniform-workers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	share := spec.WorkGB / 2
+	for wi := 0; wi < 2; wi++ {
+		if got := app.WorkerProgress(wi); got < share-1e-6 {
+			t.Fatalf("worker %d progress %v below share %v", wi, got, share)
+		}
+	}
+	if app.Progress() < spec.WorkGB {
+		t.Fatalf("total progress %v below work %v", app.Progress(), spec.WorkGB)
+	}
+}
+
+// TestUnbalancedPlacementDelaysSlowestWorker: first-touch centralization
+// must make the app slower than a balanced placement even when aggregate
+// bandwidth is similar — the slowest worker gates completion.
+func TestUnbalancedPlacementDelaysSlowestWorker(t *testing.T) {
+	m := topology.MachineB()
+	spec := smallSpec(30, 0, 0, 0, 120)
+	run := func(mode string) float64 {
+		e := sim.New(m, sim.Config{})
+		if _, err := e.AddApp("p", spec, []topology.NodeID{0, 1, 2, 3}, testPlacer{mode}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["p"]
+	}
+	central, balanced := run("local"), run("uniform-workers")
+	if central <= balanced*1.2 {
+		t.Fatalf("centralized shared pages not punished: %v vs %v", central, balanced)
+	}
+}
+
+type failingPlacer struct{}
+
+func (failingPlacer) Name() string { return "failing" }
+func (failingPlacer) Place(e *sim.Engine, a *sim.App) error {
+	return errors.New("injected placement failure")
+}
+
+func TestPlacementFailurePropagates(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	if _, err := e.AddApp("p", smallSpec(5, 0, 0, 0, 5), []topology.NodeID{0}, failingPlacer{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Run()
+	if err == nil || !containsErr(err, "injected placement failure") {
+		t.Fatalf("placement failure not propagated: %v", err)
+	}
+}
+
+func containsErr(err error, sub string) bool {
+	s := err.Error()
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInitPhaseDemandApplied: the init-phase demand factor must visibly
+// reduce early-phase traffic.
+func TestInitPhaseDemandApplied(t *testing.T) {
+	m := topology.MachineB()
+	spec := smallSpec(10, 0, 0, 0, 60).WithInitPhase(2.0, 0.1)
+	e := sim.New(m, sim.Config{})
+	app, err := e.AddApp("p", spec, []topology.NodeID{0}, testPlacer{"local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 s at ~10% demand, completion must take visibly longer than
+	// the no-init-phase baseline of 6 s.
+	if res.Times["p"] < 7.0 {
+		t.Fatalf("init phase had no effect: finished at %v", res.Times["p"])
+	}
+	if math.IsInf(res.Times["p"], 1) {
+		t.Fatal("run never completed")
+	}
+	_ = app
+}
+
+// TestEngineMemConfigRespected: a custom write penalty must change how
+// write-heavy demand loads the system.
+func TestEngineMemConfigRespected(t *testing.T) {
+	m := topology.MachineB()
+	run := func(penalty float64) float64 {
+		cfg := sim.Config{Mem: memsys.Config{StreamPenalty: 0.035, EfficiencyFloor: 0.7, WritePenalty: penalty}}
+		e := sim.New(m, cfg)
+		if _, err := e.AddApp("p", smallSpec(15, 15, 0, 0, 100), []topology.NodeID{0}, testPlacer{"local"}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["p"]
+	}
+	if cheap, costly := run(1.0), run(2.0); costly <= cheap {
+		t.Fatalf("write penalty ignored: %v vs %v", cheap, costly)
+	}
+}

@@ -1,0 +1,442 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"bwap/internal/mm"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// testPlacer is a minimal placement policy for engine tests.
+type testPlacer struct {
+	mode string // "local", "uniform-all", "uniform-workers"
+}
+
+func (p testPlacer) Name() string { return "test-" + p.mode }
+
+func (p testPlacer) Place(e *sim.Engine, a *sim.App) error {
+	all := make([]topology.NodeID, e.M.NumNodes())
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	for _, seg := range a.Segments() {
+		switch p.mode {
+		case "local":
+			if seg.Owner() != mm.SharedOwner {
+				seg.FaultAll(seg.Owner())
+			} else {
+				seg.FaultAll(a.Workers[0])
+			}
+		case "uniform-all":
+			if err := seg.Mbind(0, seg.Length(), all, mm.MoveFlag); err != nil {
+				return err
+			}
+		case "uniform-workers":
+			if err := seg.Mbind(0, seg.Length(), a.Workers, mm.MoveFlag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// smallSpec returns a fast-running workload for engine tests.
+func smallSpec(readGBs, writeGBs, privFrac, kappa, workGB float64) workload.Spec {
+	return workload.Spec{
+		Name: "t", ReadGBs: readGBs, WriteGBs: writeGBs, PrivateFrac: privFrac,
+		LatencySensitivity: kappa, WorkGB: workGB,
+		SharedGB: 0.016, PrivateGBPerNode: 0.016,
+	}
+}
+
+func TestRunCompletesAtExpectedTime(t *testing.T) {
+	// Unsaturated, latency-insensitive app: achieved == demand, so
+	// finish = work / demand.
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	spec := smallSpec(7, 0, 0, 0, 50) // 7 GB/s per 7-core node => 1 GB/s/thread
+	app, err := e.AddApp("a", spec, []topology.NodeID{0}, testPlacer{"local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("run timed out")
+	}
+	want := 50.0 / 7.0
+	if got := res.Times["a"]; math.Abs(got-want) > 0.2 {
+		t.Fatalf("finish time = %v, want ~%v", got, want)
+	}
+	if !app.Done() {
+		t.Fatal("app not done")
+	}
+	if app.Progress() < 50 {
+		t.Fatalf("progress = %v, want >= 50", app.Progress())
+	}
+}
+
+func TestUnsaturatedAppHasNearZeroStall(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	app, err := e.AddApp("a", smallSpec(5, 0, 0, 0, 20), []topology.NodeID{0}, testPlacer{"local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f := app.Counters.AvgStallFraction(); f > 0.02 {
+		t.Fatalf("stall fraction = %v, want ~0", f)
+	}
+}
+
+func TestSaturatedAppStalls(t *testing.T) {
+	// Demand 40 GB/s against a 25 GB/s local controller: stall must be
+	// roughly 1 - eff*25/40.
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	app, err := e.AddApp("a", smallSpec(40, 0, 0, 0, 200), []topology.NodeID{0}, testPlacer{"local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f := app.Counters.AvgStallFraction()
+	if f < 0.3 || f > 0.55 {
+		t.Fatalf("stall fraction = %v, want ~0.4", f)
+	}
+}
+
+func TestInterleavingBeatsLocalForSaturatingApp(t *testing.T) {
+	// The paper's core premise: a BW-bound app finishes sooner with pages
+	// interleaved than with everything on one node.
+	m := topology.MachineB()
+	run := func(mode string) float64 {
+		e := sim.New(m, sim.Config{})
+		if _, err := e.AddApp("a", smallSpec(40, 0, 0, 0, 400), []topology.NodeID{0}, testPlacer{mode}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"]
+	}
+	local, spread := run("local"), run("uniform-all")
+	if spread >= local {
+		t.Fatalf("uniform-all (%v s) not faster than local (%v s)", spread, local)
+	}
+	if local/spread < 1.3 {
+		t.Fatalf("speedup only %.2fx, expected clear win", local/spread)
+	}
+}
+
+func TestLatencySensitiveAppPrefersLocal(t *testing.T) {
+	// A latency-bound app with demand below local capacity must run faster
+	// with local placement than fully spread.
+	m := topology.MachineA()
+	run := func(mode string) float64 {
+		e := sim.New(m, sim.Config{})
+		if _, err := e.AddApp("a", smallSpec(6, 0, 0, 1.2, 100), []topology.NodeID{0}, testPlacer{mode}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"]
+	}
+	local, spread := run("local"), run("uniform-all")
+	if local >= spread {
+		t.Fatalf("local (%v s) not faster than uniform-all (%v s) for latency-bound app", local, spread)
+	}
+}
+
+func TestBackgroundAppDoesNotGateCompletion(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	if _, err := e.AddApp("fg", smallSpec(5, 0, 0, 0, 10), []topology.NodeID{0, 1}, testPlacer{"uniform-workers"}); err != nil {
+		t.Fatal(err)
+	}
+	bg := workload.Swaptions
+	bg.SharedGB, bg.PrivateGBPerNode = 0.016, 0.016
+	if _, err := e.AddApp("bg", bg, []topology.NodeID{2, 3}, testPlacer{"local"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("background app gated completion")
+	}
+	if _, ok := res.Times["bg"]; ok {
+		t.Fatal("background app reported a finish time")
+	}
+	if _, ok := res.AvgStallRate["bg"]; !ok {
+		t.Fatal("background app stall rate missing")
+	}
+}
+
+func TestCoScheduledContentionSlowsBoth(t *testing.T) {
+	// Two saturating apps sharing memory nodes must each run slower than
+	// alone.
+	m := topology.MachineB()
+	alone := func() float64 {
+		e := sim.New(m, sim.Config{})
+		if _, err := e.AddApp("a", smallSpec(40, 0, 0, 0, 200), []topology.NodeID{0, 1}, testPlacer{"uniform-all"}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"]
+	}()
+	together := func() float64 {
+		e := sim.New(m, sim.Config{})
+		if _, err := e.AddApp("a", smallSpec(40, 0, 0, 0, 200), []topology.NodeID{0, 1}, testPlacer{"uniform-all"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.AddApp("b", smallSpec(40, 0, 0, 0, 200), []topology.NodeID{2, 3}, testPlacer{"uniform-all"}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"]
+	}()
+	if together <= alone*1.05 {
+		t.Fatalf("no contention: together %v vs alone %v", together, alone)
+	}
+}
+
+func TestParallelEfficiencyAppliedToProgress(t *testing.T) {
+	// With sync factor sigma, 2 workers at unsaturated demand D give rate
+	// 2*D*eff(2); completion time = W / that.
+	m := topology.MachineB()
+	spec := smallSpec(5, 0, 0, 0, 40)
+	spec.SyncFactor = 1.0 // eff(2) = 0.5 => rate 2*5*0.5 = 5 GB/s
+	e := sim.New(m, sim.Config{})
+	if _, err := e.AddApp("a", spec, []topology.NodeID{0, 1}, testPlacer{"uniform-workers"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 40.0 / 5.0
+	if got := res.Times["a"]; math.Abs(got-want) > 0.3 {
+		t.Fatalf("finish = %v, want ~%v", got, want)
+	}
+}
+
+func TestMigrationChargesOverhead(t *testing.T) {
+	// A hook that keeps migrating pages back and forth must slow the app
+	// down.
+	m := topology.MachineB()
+	spec := smallSpec(10, 0, 0, 0, 100)
+	spec.SharedGB = 0.128 // enough pages that churn costs real bandwidth
+	base := func(withChurn bool) float64 {
+		e := sim.New(m, sim.Config{})
+		app, err := e.AddApp("a", spec, []topology.NodeID{0}, testPlacer{"uniform-all"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withChurn {
+			e.AddHook(churnHook{app: app})
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"]
+	}
+	calm, churned := base(false), base(true)
+	if churned <= calm*1.02 {
+		t.Fatalf("migration churn free of charge: %v vs %v", churned, calm)
+	}
+}
+
+type churnHook struct{ app *sim.App }
+
+func (h churnHook) Tick(e *sim.Engine) {
+	seg := h.app.SharedSegment()
+	// Alternate between two placements to generate endless migrations.
+	if e.Ticks()%2 == 0 {
+		seg.Mbind(0, seg.Length(), []topology.NodeID{0, 1}, mm.MoveFlag)
+	} else {
+		seg.Mbind(0, seg.Length(), []topology.NodeID{2, 3}, mm.MoveFlag)
+	}
+}
+
+func TestHooksRunEveryTick(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	if _, err := e.AddApp("a", smallSpec(5, 0, 0, 0, 5), []topology.NodeID{0}, testPlacer{"local"}); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	e.AddHook(hookFunc(func(*sim.Engine) { count++ }))
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != e.Ticks() {
+		t.Fatalf("hook ran %d times over %d ticks", count, e.Ticks())
+	}
+	if count == 0 {
+		t.Fatal("hook never ran")
+	}
+}
+
+type hookFunc func(*sim.Engine)
+
+func (f hookFunc) Tick(e *sim.Engine) { f(e) }
+
+func TestErrors(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	spec := smallSpec(5, 0, 0, 0, 5)
+	if _, err := e.AddApp("a", spec, nil, testPlacer{"local"}); err == nil {
+		t.Fatal("no workers accepted")
+	}
+	if _, err := e.AddApp("a", spec, []topology.NodeID{9}, testPlacer{"local"}); err == nil {
+		t.Fatal("out-of-range worker accepted")
+	}
+	if _, err := e.AddApp("a", spec, []topology.NodeID{0, 0}, testPlacer{"local"}); err == nil {
+		t.Fatal("duplicate worker accepted")
+	}
+	if _, err := e.AddApp("a", spec, []topology.NodeID{0}, nil); err == nil {
+		t.Fatal("nil placer accepted")
+	}
+	if _, err := e.AddApp("a", spec, []topology.NodeID{0}, testPlacer{"local"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddApp("a", spec, []topology.NodeID{1}, testPlacer{"local"}); err == nil {
+		t.Fatal("duplicate app name accepted")
+	}
+	// Engine with only background apps cannot run.
+	e2 := sim.New(m, sim.Config{})
+	bg := workload.Swaptions
+	bg.SharedGB, bg.PrivateGBPerNode = 0.016, 0.016
+	if _, err := e2.AddApp("bg", bg, []topology.NodeID{0}, testPlacer{"local"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Run(); err == nil {
+		t.Fatal("background-only run accepted")
+	}
+}
+
+type lazyPlacer struct{}
+
+func (lazyPlacer) Name() string                      { return "lazy" }
+func (lazyPlacer) Place(*sim.Engine, *sim.App) error { return nil }
+
+func TestUnmappedPagesRejected(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	if _, err := e.AddApp("a", smallSpec(5, 0, 0, 0, 5), []topology.NodeID{0}, lazyPlacer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("run accepted a policy that mapped nothing")
+	}
+}
+
+func TestMaxTimeAborts(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{MaxTime: 1.0})
+	if _, err := e.AddApp("a", smallSpec(1, 0, 0, 0, 1e6), []topology.NodeID{0}, testPlacer{"local"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("run did not report timeout")
+	}
+	if !math.IsInf(res.Times["a"], 1) {
+		t.Fatal("unfinished app must report +Inf time")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := topology.MachineA()
+	run := func() (float64, float64) {
+		e := sim.New(m, sim.Config{Seed: 42})
+		app, err := e.AddApp("a", smallSpec(30, 10, 0.5, 0.2, 150), []topology.NodeID{0, 1}, testPlacer{"uniform-all"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"], app.Counters.StalledCycles
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%v,%v) vs (%v,%v)", t1, s1, t2, s2)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	spec := smallSpec(8, 2, 0.4, 0, 30)
+	app, err := e.AddApp("a", spec, []topology.NodeID{0, 1}, testPlacer{"uniform-workers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := app.Counters
+	if c.BytesRead <= 0 || c.BytesWritten <= 0 {
+		t.Fatal("read/write counters empty")
+	}
+	// Read:write ratio must mirror the demand mix 8:2.
+	if ratio := c.BytesRead / c.BytesWritten; math.Abs(ratio-4) > 0.2 {
+		t.Fatalf("read/write ratio = %v, want ~4", ratio)
+	}
+	if c.SharedBytes <= 0 || c.PrivateBytes <= 0 {
+		t.Fatal("class counters empty")
+	}
+	// Private fraction of traffic must be near the spec's 0.4.
+	if frac := c.PrivateBytes / (c.PrivateBytes + c.SharedBytes); math.Abs(frac-0.4) > 0.05 {
+		t.Fatalf("private traffic fraction = %v, want ~0.4", frac)
+	}
+	// Pair traffic only from nodes holding pages (workers 0,1).
+	if c.PairBytes[2][0] != 0 || c.PairBytes[3][1] != 0 {
+		t.Fatal("traffic from nodes without pages")
+	}
+}
+
+func TestNextSeedDistinct(t *testing.T) {
+	e := sim.New(topology.MachineB(), sim.Config{Seed: 1})
+	a, b := e.NextSeed(), e.NextSeed()
+	if a == b {
+		t.Fatal("NextSeed repeated")
+	}
+}
+
+func TestStableSince(t *testing.T) {
+	e := sim.New(topology.MachineB(), sim.Config{StableAfter: 2.5})
+	app, err := e.AddApp("a", smallSpec(5, 0, 0, 0, 5), []topology.NodeID{0}, testPlacer{"local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.StableSince(e.Cfg); got != 2.5 {
+		t.Fatalf("StableSince = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Machine. The zero value is not usable; call NewBuilder.
+//
+// Typical use:
+//
+//	b := topology.NewBuilder("machine", ingestGBs)
+//	b.AddNode(cores, controllerGBs, memBytes, localLatNs) // repeated
+//	l := b.AddLink("trunk", capacityGBs)
+//	b.SetRoute(src, dst, l0, l1)
+//	m, err := b.Build()
+type Builder struct {
+	name       string
+	ingestGBs  float64
+	nodes      []Node
+	links      []Link
+	routes     map[[2]NodeID][]LinkID
+	latency    map[[2]NodeID]float64
+	latencyExp float64
+}
+
+// NewBuilder returns a Builder for a machine with the given name and
+// per-node core ingest cap (GB/s).
+func NewBuilder(name string, ingestGBs float64) *Builder {
+	return &Builder{
+		name:       name,
+		ingestGBs:  ingestGBs,
+		routes:     make(map[[2]NodeID][]LinkID),
+		latency:    make(map[[2]NodeID]float64),
+		latencyExp: 0.9,
+	}
+}
+
+// SetLatencyExponent tunes the bandwidth→latency synthesis exponent used
+// for pairs without an explicit latency (see Build). Multi-hop torus-like
+// interconnects (Opteron HyperTransport) warrant values near 1; low-hop
+// ring/mesh designs (Xeon Cluster-on-Die) keep remote latency much closer
+// to local and warrant small exponents.
+func (b *Builder) SetLatencyExponent(exp float64) {
+	if exp > 0 {
+		b.latencyExp = exp
+	}
+}
+
+// AddNode appends a node and returns its id.
+func (b *Builder) AddNode(cores int, controllerGBs float64, memoryBytes int64, localLatencyNs float64) NodeID {
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{
+		ID:             id,
+		Cores:          cores,
+		ControllerGBs:  controllerGBs,
+		MemoryBytes:    memoryBytes,
+		LocalLatencyNs: localLatencyNs,
+	})
+	return id
+}
+
+// AddLink appends a directed link and returns its id.
+func (b *Builder) AddLink(name string, capacityGBs float64) LinkID {
+	id := LinkID(len(b.links))
+	b.links = append(b.links, Link{ID: id, Name: name, CapacityGBs: capacityGBs})
+	return id
+}
+
+// SetRoute declares the link path for data flowing from memory node src to a
+// consumer on dst. Local pairs (src == dst) must not be routed.
+func (b *Builder) SetRoute(src, dst NodeID, path ...LinkID) {
+	b.routes[[2]NodeID{src, dst}] = append([]LinkID(nil), path...)
+}
+
+// SetLatency declares the uncontended latency (ns) for a thread on dst
+// accessing memory on src. Pairs without an explicit latency get a synthetic
+// one derived from the nominal bandwidth ratio (see Build).
+func (b *Builder) SetLatency(src, dst NodeID, ns float64) {
+	b.latency[[2]NodeID{src, dst}] = ns
+}
+
+// Build assembles and validates the Machine.
+//
+// Latencies not set explicitly are synthesized from the bandwidth
+// asymmetry: lat(s,d) = localLat(d) · (localBW(d)/bw(s,d))^exp, with exp
+// from SetLatencyExponent (default 0.9). Lower-bandwidth paths are longer
+// paths in commodity NUMA interconnects, so this monotone map is a
+// reasonable stand-in where the paper publishes no latency table
+// (DESIGN.md, "Model notes").
+func (b *Builder) Build() (*Machine, error) {
+	n := len(b.nodes)
+	m := &Machine{
+		Name:      b.name,
+		nodes:     append([]Node(nil), b.nodes...),
+		links:     append([]Link(nil), b.links...),
+		ingestGBs: b.ingestGBs,
+	}
+	m.routes = make([][][]LinkID, n)
+	m.latencyNs = make([][]float64, n)
+	for s := 0; s < n; s++ {
+		m.routes[s] = make([][]LinkID, n)
+		m.latencyNs[s] = make([]float64, n)
+		for d := 0; d < n; d++ {
+			key := [2]NodeID{NodeID(s), NodeID(d)}
+			if r, ok := b.routes[key]; ok {
+				m.routes[s][d] = r
+			} else if s != d {
+				return nil, fmt.Errorf("topology: no route declared for %d->%d", s, d)
+			}
+			if lat, ok := b.latency[key]; ok {
+				m.latencyNs[s][d] = lat
+			}
+		}
+	}
+	// Synthesize missing latencies now that routes exist and NominalBW works.
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if m.latencyNs[s][d] != 0 {
+				continue
+			}
+			local := m.nodes[d].LocalLatencyNs
+			if s == d {
+				m.latencyNs[s][d] = local
+				continue
+			}
+			bw := m.NominalBW(NodeID(s), NodeID(d))
+			localBW := m.NominalBW(NodeID(d), NodeID(d))
+			ratio := 1.0
+			if bw > 0 {
+				ratio = localBW / bw
+			}
+			m.latencyNs[s][d] = local * math.Pow(ratio, b.latencyExp)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error; for package-level constructors of
+// the known-good reference machines.
+func (b *Builder) MustBuild() *Machine {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

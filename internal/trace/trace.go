@@ -1,0 +1,50 @@
+// Package trace is the reproduction's stand-in for the NumaMMA memory
+// profiler [15]: it characterizes a finished (or running) application's
+// memory behaviour — read/write bandwidth demand and the private/shared
+// access split — producing the rows of Table I.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"bwap/internal/sim"
+)
+
+// Characterization is one row of Table I.
+type Characterization struct {
+	// Benchmark is the workload name.
+	Benchmark string
+	// ReadMBs and WriteMBs are the measured bandwidth demands in MB/s.
+	ReadMBs, WriteMBs float64
+	// PrivatePct and SharedPct split observed accesses by page class, in
+	// percent (they sum to 100 for apps with any traffic).
+	PrivatePct, SharedPct float64
+}
+
+// Characterize derives a characterization from an app's accumulated
+// counters.
+func Characterize(app *sim.App) Characterization {
+	c := app.Counters
+	out := Characterization{Benchmark: app.Spec.Name}
+	if c.Time > 0 {
+		out.ReadMBs = c.BytesRead / c.Time / 1e6
+		out.WriteMBs = c.BytesWritten / c.Time / 1e6
+	}
+	if total := c.PrivateBytes + c.SharedBytes; total > 0 {
+		out.PrivatePct = 100 * c.PrivateBytes / total
+		out.SharedPct = 100 * c.SharedBytes / total
+	}
+	return out
+}
+
+// Table renders rows in the layout of the paper's Table I.
+func Table(rows []Characterization) string {
+	var b strings.Builder
+	b.WriteString("Benchmark   Reads(MB/s)  Writes(MB/s)  Private(%)  Shared(%)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %11.0f %13.0f %11.1f %10.1f\n",
+			r.Benchmark, r.ReadMBs, r.WriteMBs, r.PrivatePct, r.SharedPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package trace_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bwap/internal/policy"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/trace"
+	"bwap/internal/workload"
+)
+
+func TestCharacterizeMatchesSpecMix(t *testing.T) {
+	// An unsaturated app must characterize at its specified demand and
+	// access mix.
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	spec := workload.Spec{
+		Name: "probe", ReadGBs: 8, WriteGBs: 2, PrivateFrac: 0.25,
+		WorkGB: 40, SharedGB: 0.032, PrivateGBPerNode: 0.016,
+	}
+	app, err := e.AddApp("probe", spec, []topology.NodeID{0}, policy.FirstTouch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := trace.Characterize(app)
+	if c.Benchmark != "probe" {
+		t.Fatalf("name %q", c.Benchmark)
+	}
+	if math.Abs(c.ReadMBs-8000) > 400 {
+		t.Fatalf("ReadMBs = %v, want ~8000", c.ReadMBs)
+	}
+	if math.Abs(c.WriteMBs-2000) > 100 {
+		t.Fatalf("WriteMBs = %v, want ~2000", c.WriteMBs)
+	}
+	if math.Abs(c.PrivatePct-25) > 2 {
+		t.Fatalf("PrivatePct = %v, want ~25", c.PrivatePct)
+	}
+	if math.Abs(c.PrivatePct+c.SharedPct-100) > 1e-6 {
+		t.Fatalf("percentages do not sum to 100: %v + %v", c.PrivatePct, c.SharedPct)
+	}
+}
+
+func TestCharacterizeZeroTime(t *testing.T) {
+	m := topology.MachineB()
+	e := sim.New(m, sim.Config{})
+	spec := workload.Spec{
+		Name: "idle", ReadGBs: 1, WorkGB: 1, SharedGB: 0.004,
+	}
+	app, err := e.AddApp("idle", spec, []topology.NodeID{0}, policy.FirstTouch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := trace.Characterize(app) // before running: counters empty
+	if c.ReadMBs != 0 || c.PrivatePct != 0 {
+		t.Fatalf("fresh app characterized as %+v", c)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	rows := []trace.Characterization{
+		{Benchmark: "OC", ReadMBs: 17576, WriteMBs: 6492, PrivatePct: 79.3, SharedPct: 20.7},
+	}
+	s := trace.Table(rows)
+	if !strings.Contains(s, "OC") || !strings.Contains(s, "17576") || !strings.Contains(s, "79.3") {
+		t.Fatalf("table missing fields:\n%s", s)
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllBenchmarksValidate(t *testing.T) {
+	for _, s := range append(Benchmarks(), Swaptions) {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// TestTableICalibration pins the specs to the paper's Table I numbers
+// (MB/s and access-mix percentages).
+func TestTableICalibration(t *testing.T) {
+	cases := []struct {
+		spec           Spec
+		readMBs, wrMBs float64
+		privPct, shPct float64
+	}{
+		{OceanCP, 17576, 6492, 79.3, 20.7},
+		{OceanNCP, 16053, 5578, 86.7, 13.3},
+		{SPB, 11962, 5352, 19.9, 80.1},
+		{Streamcluster, 10055, 70, 0.2, 99.8},
+		{FTC, 5585, 4715, 95.0, 5.0},
+	}
+	for _, c := range cases {
+		if got := c.spec.ReadGBs * 1000; math.Abs(got-c.readMBs) > 0.5 {
+			t.Errorf("%s reads = %.0f MB/s, want %.0f", c.spec.Name, got, c.readMBs)
+		}
+		if got := c.spec.WriteGBs * 1000; math.Abs(got-c.wrMBs) > 0.5 {
+			t.Errorf("%s writes = %.0f MB/s, want %.0f", c.spec.Name, got, c.wrMBs)
+		}
+		if got := c.spec.PrivateFrac * 100; math.Abs(got-c.privPct) > 0.05 {
+			t.Errorf("%s private = %.1f%%, want %.1f%%", c.spec.Name, got, c.privPct)
+		}
+		if got := c.spec.SharedFrac() * 100; math.Abs(got-c.shPct) > 0.05 {
+			t.Errorf("%s shared = %.1f%%, want %.1f%%", c.spec.Name, got, c.shPct)
+		}
+	}
+}
+
+func TestPerThreadDemand(t *testing.T) {
+	// Table I was measured with one full 7-core worker node.
+	if got := Streamcluster.PerThreadReadGBs() * RefCoresPerNode; math.Abs(got-10.055) > 1e-9 {
+		t.Fatalf("per-thread read × 7 = %v, want 10.055", got)
+	}
+}
+
+func TestParallelEfficiency(t *testing.T) {
+	s := Spec{SyncFactor: 0.5}
+	if got := s.ParallelEfficiency(1); got != 1 {
+		t.Fatalf("eff(1) = %v", got)
+	}
+	if got := s.ParallelEfficiency(3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("eff(3) = %v, want 0.5", got)
+	}
+	// Monotone non-increasing.
+	prev := 1.0
+	for w := 1; w <= 8; w++ {
+		e := SPB.ParallelEfficiency(w)
+		if e > prev+1e-12 {
+			t.Fatalf("efficiency increased at W=%d", w)
+		}
+		prev = e
+	}
+}
+
+func TestSPBStopsScalingEarly(t *testing.T) {
+	// SP.B's sync factor must make 2 workers unattractive even if memory
+	// bandwidth doubled perfectly: 2·eff(2) < 1.05·eff(1).
+	if 2*SPB.ParallelEfficiency(2) >= 1.05 {
+		t.Fatalf("SP.B would scale to 2 workers even with perfect BW scaling: 2·eff(2) = %v",
+			2*SPB.ParallelEfficiency(2))
+	}
+	// The scalable codes must keep most of their efficiency at 4 workers.
+	for _, s := range []Spec{OceanCP, OceanNCP, FTC} {
+		if 4*s.ParallelEfficiency(4) < 3 {
+			t.Errorf("%s lost too much efficiency at 4W", s.Name)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", ReadGBs: -1, WriteGBs: 2, WorkGB: 1, SharedGB: 1},
+		{Name: "x", ReadGBs: 1, PrivateFrac: 1.5, WorkGB: 1, SharedGB: 1},
+		{Name: "x", ReadGBs: 1, LatencySensitivity: -1, WorkGB: 1, SharedGB: 1},
+		{Name: "x", ReadGBs: 1, SyncFactor: -1, WorkGB: 1, SharedGB: 1},
+		{Name: "x", ReadGBs: 1, WorkGB: 0, SharedGB: 1},                   // no work
+		{Name: "x", ReadGBs: 1, WorkGB: 1, SharedGB: 0},                   // shared accesses, no segment
+		{Name: "x", ReadGBs: 1, WorkGB: 1, SharedGB: 1, PrivateFrac: 0.5}, // private accesses, no segment
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("SC")
+	if err != nil || s.Name != "SC" {
+		t.Fatalf("ByName(SC) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if s, err := ByName("Swaptions"); err != nil || !s.ComputeBound {
+		t.Fatal("Swaptions must be compute-bound")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Streamcluster.Scaled(0.5)
+	if math.Abs(s.WorkGB-Streamcluster.WorkGB/2) > 1e-9 {
+		t.Fatalf("Scaled work = %v", s.WorkGB)
+	}
+	if s.ReadGBs != Streamcluster.ReadGBs {
+		t.Fatal("Scaled must not change demand")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	s := Synthetic("probe", 20, 0, 0, 0)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SharedFrac() != 1 {
+		t.Fatal("synthetic probe must be all-shared with privateFrac 0")
+	}
+}
+
+func TestBenchmarksOrderMatchesPaperFigures(t *testing.T) {
+	want := []string{"SC", "OC", "ON", "SP.B", "FT.C"}
+	got := Benchmarks()
+	if len(got) != len(want) {
+		t.Fatalf("got %d benchmarks", len(got))
+	}
+	for i := range want {
+		if got[i].Name != want[i] {
+			t.Fatalf("order %v, want %v", got[i].Name, want[i])
+		}
+	}
+}
+
+func TestWithInitPhase(t *testing.T) {
+	s := Streamcluster.WithInitPhase(2.5, 0.3)
+	if s.InitSeconds != 2.5 || s.InitDemandFactor != 0.3 {
+		t.Fatalf("WithInitPhase = %v/%v", s.InitSeconds, s.InitDemandFactor)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Streamcluster
+	bad.InitSeconds = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative init phase accepted")
+	}
+	bad = Streamcluster.WithInitPhase(1, -0.5)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative init demand accepted")
+	}
+}
