@@ -26,7 +26,9 @@ func main() {
 	tables := flag.String("table", "", "comma-separated tables: 1,2")
 	all := flag.Bool("all", false, "run every figure and table")
 	quick := flag.Bool("quick", false, "reduced seeds, work volumes and search budgets")
+	parallel := flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	experiments.SetMaxParallel(*parallel)
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {

@@ -1,0 +1,3 @@
+module bwap
+
+go 1.24

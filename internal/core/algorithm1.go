@@ -24,8 +24,8 @@ import (
 // the reverse direction (widening) is unsupported, which is why the DWP
 // tuner never decreases DWP.
 func UserLevelWeightedInterleave(seg *mm.Segment, weights []float64, flags mm.Flags) error {
-	if len(weights) != len(seg.Counts()) {
-		return fmt.Errorf("core: %d weights for %d nodes", len(weights), len(seg.Counts()))
+	if len(weights) != seg.NumNodes() {
+		return fmt.Errorf("core: %d weights for %d nodes", len(weights), seg.NumNodes())
 	}
 	for i, w := range weights {
 		if w < 0 {

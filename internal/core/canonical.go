@@ -45,9 +45,18 @@ type CanonicalTuner struct {
 	// (default 3 s).
 	ProfileSeconds float64
 
-	mu    sync.Mutex
-	cache map[string][]float64
-	bwMat map[string][][]float64
+	mu      sync.Mutex
+	entries map[string]*canonicalEntry
+}
+
+// canonicalEntry is one worker set's profiling result, computed exactly
+// once: concurrent first users of the same key share a run, while
+// distinct keys profile in parallel.
+type canonicalEntry struct {
+	once    sync.Once
+	matrix  [][]float64
+	weights []float64
+	err     error
 }
 
 // NewCanonicalTuner returns a tuner for the machine. The simulation
@@ -58,8 +67,7 @@ func NewCanonicalTuner(m *topology.Machine, cfg sim.Config) *CanonicalTuner {
 		m:              m,
 		SimCfg:         cfg,
 		ProfileSeconds: 3,
-		cache:          make(map[string][]float64),
-		bwMat:          make(map[string][][]float64),
+		entries:        make(map[string]*canonicalEntry),
 	}
 }
 
@@ -83,18 +91,24 @@ func (uniformAllPlacer) Place(e *sim.Engine, a *sim.App) error {
 	return nil
 }
 
-// Profile runs the profiling benchmark for the worker set and returns the
-// measured bw(src→dst) matrix in GB/s (only worker destinations carry
-// meaning). Results are cached per worker set.
-func (ct *CanonicalTuner) Profile(workers []topology.NodeID) ([][]float64, error) {
+// entry returns the worker set's profiling result, computing it at most
+// once. The map lock is held only for entry lookup; the profiling run
+// itself executes under the entry's once, so concurrent first users of
+// the same key share one run while distinct keys profile in parallel.
+func (ct *CanonicalTuner) entry(workers []topology.NodeID) *canonicalEntry {
 	key := workerKey(workers)
 	ct.mu.Lock()
-	if m, ok := ct.bwMat[key]; ok {
-		ct.mu.Unlock()
-		return m, nil
+	en, ok := ct.entries[key]
+	if !ok {
+		en = &canonicalEntry{}
+		ct.entries[key] = en
 	}
 	ct.mu.Unlock()
+	en.once.Do(func() { en.compute(ct, key, workers) })
+	return en
+}
 
+func (en *canonicalEntry) compute(ct *CanonicalTuner, key string, workers []topology.NodeID) {
 	cfg := ct.SimCfg
 	secs := ct.ProfileSeconds
 	if secs <= 0 {
@@ -104,17 +118,23 @@ func (ct *CanonicalTuner) Profile(workers []topology.NodeID) ([][]float64, error
 	e := sim.New(ct.m, cfg)
 	app, err := e.AddApp("canonical-probe", ProbeSpec(), workers, uniformAllPlacer{})
 	if err != nil {
-		return nil, fmt.Errorf("core: profiling %s: %w", key, err)
+		en.err = fmt.Errorf("core: profiling %s: %w", key, err)
+		return
 	}
 	if _, err := e.Run(); err != nil {
-		return nil, fmt.Errorf("core: profiling %s: %w", key, err)
+		en.err = fmt.Errorf("core: profiling %s: %w", key, err)
+		return
 	}
-	matrix := app.Counters.BWMatrixGBs()
+	en.matrix = app.Counters.BWMatrixGBs()
+	en.weights = WeightsFromMinBW(MinBW(en.matrix, workers))
+}
 
-	ct.mu.Lock()
-	ct.bwMat[key] = matrix
-	ct.mu.Unlock()
-	return matrix, nil
+// Profile runs the profiling benchmark for the worker set and returns the
+// measured bw(src→dst) matrix in GB/s (only worker destinations carry
+// meaning). Results are cached per worker set.
+func (ct *CanonicalTuner) Profile(workers []topology.NodeID) ([][]float64, error) {
+	en := ct.entry(workers)
+	return en.matrix, en.err
 }
 
 // MinBW reduces a profiled matrix to per-source minimum bandwidths over the
@@ -150,24 +170,8 @@ func (ct *CanonicalTuner) Weights(workers []topology.NodeID) ([]float64, error) 
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("core: empty worker set")
 	}
-	key := workerKey(workers)
-	ct.mu.Lock()
-	if w, ok := ct.cache[key]; ok {
-		ct.mu.Unlock()
-		return w, nil
-	}
-	ct.mu.Unlock()
-
-	matrix, err := ct.Profile(workers)
-	if err != nil {
-		return nil, err
-	}
-	weights := WeightsFromMinBW(MinBW(matrix, workers))
-
-	ct.mu.Lock()
-	ct.cache[key] = weights
-	ct.mu.Unlock()
-	return weights, nil
+	en := ct.entry(workers)
+	return en.weights, en.err
 }
 
 // Precompute profiles every worker set in the list — the installation-time

@@ -20,6 +20,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bwap/internal/core"
 	"bwap/internal/policy"
@@ -120,9 +121,15 @@ func (p *Profile) Quick() *Profile {
 	return &q
 }
 
+// canonicalMu guards lazy construction of profile canonical tuners; the
+// parallel harness may race on first use.
+var canonicalMu sync.Mutex
+
 // Canonical returns the profile's canonical tuner (shared so its profiling
-// cache is reused across runs).
+// cache is reused across runs; safe for concurrent use).
 func (p *Profile) Canonical() *core.CanonicalTuner {
+	canonicalMu.Lock()
+	defer canonicalMu.Unlock()
 	if p.ct == nil {
 		p.ct = core.NewCanonicalTuner(p.M, p.SimCfg)
 	}
@@ -251,19 +258,26 @@ func (p *Profile) runOnce(spec workload.Spec, workers []topology.NodeID, placerN
 }
 
 // Run executes a deployment, averaging noisy policies over the profile's
-// seeds.
+// seeds. Seed replicas are independent simulations and run on the shared
+// worker pool; aggregation happens in seed order, so the result is
+// identical to a serial run.
 func (p *Profile) Run(spec workload.Spec, workers []topology.NodeID, placerName string, coScheduled bool) (RunResult, error) {
 	seeds := 1
 	if policyIsNoisy(placerName) && p.Seeds > 1 {
 		seeds = p.Seeds
 	}
+	replicas := make([]RunResult, seeds)
+	err := parallelFor(seeds, func(s int) error {
+		r, err := p.runOnce(spec, workers, placerName, coScheduled, p.SimCfg.Seed+uint64(s)*7919)
+		replicas[s] = r
+		return err
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
 	var agg RunResult
 	var times, stalls, bests, applieds, migs, coStalls []float64
-	for s := 0; s < seeds; s++ {
-		r, err := p.runOnce(spec, workers, placerName, coScheduled, p.SimCfg.Seed+uint64(s)*7919)
-		if err != nil {
-			return RunResult{}, err
-		}
+	for _, r := range replicas {
 		times = append(times, r.Time)
 		stalls = append(stalls, r.StallRate)
 		coStalls = append(coStalls, r.CoRunnerStallRate)

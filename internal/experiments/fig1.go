@@ -25,9 +25,9 @@ type Fig1a struct {
 // RunFig1a measures the matrix the way the paper does: one saturating
 // stream per (src,dst) pair, nothing else running.
 func RunFig1a(p *Profile) *Fig1a {
-	memCfg := p.SimCfg.Mem
-	if memCfg == (memsys.Config{}) {
-		memCfg = memsys.DefaultConfig()
+	memCfg := memsys.DefaultConfig()
+	if p.SimCfg.Mem != nil {
+		memCfg = *p.SimCfg.Mem
 	}
 	sys := memsys.New(p.M, memCfg)
 	return &Fig1a{MachineName: p.M.Name, Matrix: sys.MeasuredMatrix()}
@@ -85,8 +85,10 @@ func RunFig1b(p *Profile) (*Fig1b, error) {
 		return nil, err
 	}
 	out := &Fig1b{Evals: p.SearchBudget}
-	for _, spec := range workload.Benchmarks() {
-		spec := spec
+	benches := workload.Benchmarks()
+	out.Rows = make([]Fig1bRow, len(benches))
+	err = parallelFor(len(benches), func(i int) error {
+		spec := benches[i]
 		objective := func(w []float64) float64 {
 			t, err := p.staticWeightedTime(spec, workers, w)
 			if err != nil {
@@ -102,7 +104,7 @@ func RunFig1b(p *Profile) (*Fig1b, error) {
 		}
 		res, err := search.HillClimbMulti(objective, starts, 0.10, p.SearchBudget)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		oracle := res.MeanTopK(10)
 
@@ -110,7 +112,7 @@ func RunFig1b(p *Profile) (*Fig1b, error) {
 		for _, pol := range []string{"first-touch", "uniform-workers", "uniform-all"} {
 			r, err := p.Run(spec, workers, pol, false)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			norm := oracle / r.Time
 			switch pol {
@@ -122,7 +124,11 @@ func RunFig1b(p *Profile) (*Fig1b, error) {
 				row.UniformAll = norm
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

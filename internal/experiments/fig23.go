@@ -37,18 +37,25 @@ type SpeedupFigure struct {
 // RunCoScheduled reproduces one co-scheduled panel (Figure 2a/b/c on
 // Machine A; Figure 3a/b on Machine B): benchmark B runs on `workers`
 // nodes under each policy while Swaptions occupies the remaining nodes.
+// Benchmark rows are independent cells and run on the shared worker pool.
 func RunCoScheduled(p *Profile, workers int, label string) (*SpeedupFigure, error) {
 	ws, err := p.Workers(workers)
 	if err != nil {
 		return nil, err
 	}
 	fig := &SpeedupFigure{Label: label, Scenario: "co-scheduled", MachineName: p.Name}
-	for _, spec := range workload.Benchmarks() {
-		row, err := p.speedupRow(spec, ws, true)
+	benches := workload.Benchmarks()
+	fig.Rows = make([]SpeedupRow, len(benches))
+	err = parallelFor(len(benches), func(i int) error {
+		row, err := p.speedupRow(benches[i], ws, true)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", label, spec.Name, err)
+			return fmt.Errorf("%s/%s: %w", label, benches[i].Name, err)
 		}
-		fig.Rows = append(fig.Rows, row)
+		fig.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -58,16 +65,22 @@ func RunCoScheduled(p *Profile, workers int, label string) (*SpeedupFigure, erro
 func RunStandalone(p *Profile, label string) (*SpeedupFigure, error) {
 	optimal := OptimalWorkersStandalone(p.Name)
 	fig := &SpeedupFigure{Label: label, Scenario: "stand-alone", MachineName: p.Name}
-	for _, spec := range workload.Benchmarks() {
-		ws, err := p.Workers(optimal[spec.Name])
+	benches := workload.Benchmarks()
+	fig.Rows = make([]SpeedupRow, len(benches))
+	err := parallelFor(len(benches), func(i int) error {
+		ws, err := p.Workers(optimal[benches[i].Name])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row, err := p.speedupRow(spec, ws, false)
+		row, err := p.speedupRow(benches[i], ws, false)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", label, spec.Name, err)
+			return fmt.Errorf("%s/%s: %w", label, benches[i].Name, err)
 		}
-		fig.Rows = append(fig.Rows, row)
+		fig.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -80,20 +93,24 @@ func (p *Profile) speedupRow(spec workload.Spec, ws []topology.NodeID, coSched b
 		BWAPDWP:   math.NaN(),
 		Workers:   len(ws),
 	}
-	times := make(map[string]float64)
-	for _, pol := range PolicyNames {
-		r, err := p.Run(spec, ws, pol, coSched)
-		if err != nil {
-			return row, err
-		}
-		times[pol] = r.Time
-		row.Time[pol] = r.Time
+	// The policy columns of a row are independent deployments too.
+	results := make([]RunResult, len(PolicyNames))
+	err := parallelFor(len(PolicyNames), func(i int) error {
+		r, err := p.Run(spec, ws, PolicyNames[i], coSched)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	for i, pol := range PolicyNames {
+		row.Time[pol] = results[i].Time
 		if pol == "bwap" {
-			row.BWAPDWP = r.BestDWP
+			row.BWAPDWP = results[i].BestDWP
 		}
 	}
-	base := times["uniform-workers"]
-	for pol, t := range times {
+	base := row.Time["uniform-workers"]
+	for pol, t := range row.Time {
 		row.Speedup[pol] = base / t
 	}
 	return row, nil

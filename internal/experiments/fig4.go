@@ -59,19 +59,27 @@ func RunFig4(p *Profile, workerCounts []int) (*Fig4, error) {
 			return nil, err
 		}
 		panel := Fig4Panel{Workers: nw}
-		maxStall, maxTime := 0.0, 0.0
-		bestTime := math.Inf(1)
-		for dwp := 0.0; dwp <= 1.0001; dwp += 0.1 {
+		panel.Static = make([]Fig4Point, len(dwpSweep))
+		err = parallelFor(len(dwpSweep), func(i int) error {
+			dwp := dwpSweep[i]
 			t, stall, err := p.staticDWPRun(spec, ws, dwp)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			panel.Static = append(panel.Static, Fig4Point{DWP: dwp, RawStallRate: stall, RawTime: t})
-			maxStall = math.Max(maxStall, stall)
-			maxTime = math.Max(maxTime, t)
-			if t < bestTime {
-				bestTime = t
-				panel.BestStaticDWP = dwp
+			panel.Static[i] = Fig4Point{DWP: dwp, RawStallRate: stall, RawTime: t}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxStall, maxTime := 0.0, 0.0
+		bestTime := math.Inf(1)
+		for _, pt := range panel.Static {
+			maxStall = math.Max(maxStall, pt.RawStallRate)
+			maxTime = math.Max(maxTime, pt.RawTime)
+			if pt.RawTime < bestTime {
+				bestTime = pt.RawTime
+				panel.BestStaticDWP = pt.DWP
 			}
 		}
 		for i := range panel.Static {
@@ -96,6 +104,16 @@ func RunFig4(p *Profile, workerCounts []int) (*Fig4, error) {
 	}
 	return out, nil
 }
+
+// dwpSweep is the static DWP grid of Figure 4 and the overhead analysis:
+// 0..100% in steps of 10%.
+var dwpSweep = func() []float64 {
+	var out []float64
+	for dwp := 0.0; dwp <= 1.0001; dwp += 0.1 {
+		out = append(out, dwp)
+	}
+	return out
+}()
 
 // withinOneStepOfOptimum reports whether dwp lies within one 10% step of
 // any static point whose time is within 2% of the sweep's best — the

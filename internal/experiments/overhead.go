@@ -41,27 +41,37 @@ func RunOverhead(p *Profile, workers int) (*Overhead, error) {
 		return nil, err
 	}
 	out := &Overhead{MachineName: p.Name}
-	for _, spec := range workload.Benchmarks() {
+	benches := workload.Benchmarks()
+	out.Rows = make([]OverheadRow, len(benches))
+	err = parallelFor(len(benches), func(bi int) error {
+		spec := benches[bi]
 		row := OverheadRow{Benchmark: spec.Name, Workers: workers, BestStaticTime: math.Inf(1)}
-		var sweep []Fig4Point
-		for dwp := 0.0; dwp <= 1.0001; dwp += 0.1 {
-			t, _, err := p.staticDWPRun(spec, ws, dwp)
-			if err != nil {
-				return nil, err
-			}
-			sweep = append(sweep, Fig4Point{DWP: dwp, RawTime: t})
-			if t < row.BestStaticTime {
-				row.BestStaticTime, row.BestStaticDWP = t, dwp
+		sweep := make([]Fig4Point, len(dwpSweep))
+		err := parallelFor(len(dwpSweep), func(i int) error {
+			t, _, err := p.staticDWPRun(spec, ws, dwpSweep[i])
+			sweep[i] = Fig4Point{DWP: dwpSweep[i], RawTime: t}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		for _, pt := range sweep {
+			if pt.RawTime < row.BestStaticTime {
+				row.BestStaticTime, row.BestStaticDWP = pt.RawTime, pt.DWP
 			}
 		}
 		r, err := p.Run(spec, ws, "bwap", true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.TunedDWP, row.TunedTime = r.BestDWP, r.Time
 		row.OverheadPct = 100 * (row.TunedTime/row.BestStaticTime - 1)
 		row.WithinOneStep = withinOneStepOfOptimum(row.TunedDWP, sweep, row.BestStaticTime)
-		out.Rows = append(out.Rows, row)
+		out.Rows[bi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -118,29 +128,36 @@ func RunKernelVsUserAblation(p *Profile, workers int) (*Ablation, error) {
 		return nil, err
 	}
 	out := &Ablation{MachineName: p.Name}
-	for _, spec := range workload.Benchmarks() {
+	benches := workload.Benchmarks()
+	out.Rows = make([]AblationRow, len(benches))
+	err = parallelFor(len(benches), func(bi int) error {
+		spec := benches[bi]
 		times := make(map[bool]float64)
 		for _, userLevel := range []bool{true, false} {
 			e := sim.New(p.M, p.SimCfg)
 			placer := core.StaticDWP{Canonical: p.Canonical(), DWP: 0, UserLevel: userLevel}
 			if _, err := e.AddApp(spec.Name, spec.Scaled(p.WorkScale), ws, placer); err != nil {
-				return nil, err
+				return err
 			}
 			res, err := e.Run()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if res.TimedOut {
-				return nil, fmt.Errorf("experiments: ablation run for %s timed out", spec.Name)
+				return fmt.Errorf("experiments: ablation run for %s timed out", spec.Name)
 			}
 			times[userLevel] = res.Times[spec.Name]
 		}
-		out.Rows = append(out.Rows, AblationRow{
+		out.Rows[bi] = AblationRow{
 			Benchmark:  spec.Name,
 			UserTime:   times[true],
 			KernelTime: times[false],
 			GapPct:     100 * (times[true]/times[false] - 1),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

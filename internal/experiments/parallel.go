@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The experiment grid is embarrassingly parallel: every cell (benchmark ×
+// policy × worker count × seed) is an independent simulation whose engine,
+// address spaces and solver are private to the run. The harness fans cells
+// out over one bounded, process-wide worker pool shared by every fan-out
+// level (figure rows, policy columns, seed replicas, sweep points). A task
+// that cannot get a pool slot runs inline on the caller's goroutine, so
+// nested fan-outs can never deadlock and total concurrency stays bounded
+// no matter how the levels compose.
+//
+// Results are always written to caller-owned, index-addressed slots and
+// aggregated in input order afterwards, so the output of a parallel run is
+// bit-identical to a serial one regardless of scheduling.
+
+var (
+	poolMu  sync.Mutex
+	poolSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+)
+
+// SetMaxParallel bounds the number of pooled worker goroutines the
+// experiment harness uses; n <= 0 selects GOMAXPROCS. With n == 1 every
+// task still runs, but at most one off-caller goroutine exists at a time.
+// Call it before starting experiment runs; it does not affect fan-outs
+// already in flight (their slot releases drain to the old pool).
+func SetMaxParallel(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	poolMu.Lock()
+	poolSem = make(chan struct{}, n)
+	poolMu.Unlock()
+}
+
+// parallelFor runs fn(0) … fn(n-1), using pool slots when available and
+// the caller's goroutine otherwise, and waits for all of them. It returns
+// the error of the lowest failing index, so error reporting is as
+// deterministic as the results.
+func parallelFor(n int, fn func(i int) error) error {
+	if n == 1 {
+		return fn(0)
+	}
+	poolMu.Lock()
+	sem := poolSem
+	poolMu.Unlock()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = fn(i)
+			}(i)
+		default:
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"bwap/internal/workload"
+)
+
+// TestParallelForRunsEverythingOnce covers the pool mechanics: all indices
+// run exactly once whatever the pool size, including nested fan-outs.
+func TestParallelForRunsEverythingOnce(t *testing.T) {
+	for _, pool := range []int{1, 2, 8} {
+		SetMaxParallel(pool)
+		var count atomic.Int64
+		hits := make([]atomic.Int64, 20)
+		err := parallelFor(len(hits), func(i int) error {
+			return parallelFor(3, func(int) error { // nested level must not deadlock
+				count.Add(1)
+				if i%3 == 0 {
+					return nil
+				}
+				hits[i].Add(1)
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := count.Load(); got != 60 {
+			t.Fatalf("pool %d: ran %d tasks, want 60", pool, got)
+		}
+	}
+	SetMaxParallel(0)
+}
+
+// TestParallelForReportsLowestError pins deterministic error selection.
+func TestParallelForReportsLowestError(t *testing.T) {
+	SetMaxParallel(4)
+	defer SetMaxParallel(0)
+	errOf := func(i int) error { return fmt.Errorf("task %d", i) }
+	err := parallelFor(10, func(i int) error {
+		if i == 3 || i == 7 {
+			return errOf(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3" {
+		t.Fatalf("err = %v, want task 3", err)
+	}
+	if err := parallelFor(4, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallelFor(1, func(int) error { return errors.New("solo") }); err == nil {
+		t.Fatal("serial error lost")
+	}
+}
+
+// TestParallelRunMatchesSerial is the harness's equivalence contract: a
+// parallel experiment cell grid produces results identical to a serial
+// run — same Times, same DWPs — because aggregation is slot-indexed and
+// every simulation is self-contained.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	spec, err := workload.ByName("SC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() ([]RunResult, *SpeedupFigure) {
+		p := MachineA().Quick()
+		p.Seeds = 2
+		ws, err := p.Workers(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results []RunResult
+		for _, pol := range []string{"uniform-workers", "bwap-uniform"} {
+			r, err := p.Run(spec, ws, pol, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, r)
+		}
+		fig, err := RunCoScheduled(p, 1, "eq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, fig
+	}
+
+	SetMaxParallel(1)
+	serialRes, serialFig := runOnce()
+	SetMaxParallel(8)
+	parallelRes, parallelFig := runOnce()
+	SetMaxParallel(0)
+
+	// Compare formatted representations: DeepEqual would treat the NaN
+	// DWP placeholders of non-BWAP policies as unequal.
+	if s, p := fmt.Sprintf("%+v", serialRes), fmt.Sprintf("%+v", parallelRes); s != p {
+		t.Fatalf("parallel Run diverged from serial:\n serial  %s\n parallel %s", s, p)
+	}
+	if s, p := fmt.Sprintf("%+v", serialFig), fmt.Sprintf("%+v", parallelFig); s != p {
+		t.Fatalf("parallel figure diverged from serial:\n serial  %s\n parallel %s", s, p)
+	}
+}

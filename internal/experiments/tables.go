@@ -27,23 +27,30 @@ func RunTable1(p *Profile) (*Table1, error) {
 		return nil, err
 	}
 	out := &Table1{MachineName: p.Name}
-	for _, spec := range workload.Benchmarks() {
+	benches := workload.Benchmarks()
+	out.Rows = make([]trace.Characterization, len(benches))
+	err = parallelFor(len(benches), func(i int) error {
+		spec := benches[i]
 		e := sim.New(p.M, p.SimCfg)
 		// Pages are spread uniform-all so the single worker's demand is not
 		// clipped by one controller: NumaMMA characterizes the benchmark's
 		// *demand*, not a placement bottleneck.
 		app, err := e.AddApp(spec.Name, spec.Scaled(p.WorkScale), ws, policy.UniformAll{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := e.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if res.TimedOut {
-			return nil, fmt.Errorf("experiments: table1 run for %s timed out", spec.Name)
+			return fmt.Errorf("experiments: table1 run for %s timed out", spec.Name)
 		}
-		out.Rows = append(out.Rows, trace.Characterize(app))
+		out.Rows[i] = trace.Characterize(app)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -85,19 +92,31 @@ func RunTable2(p *Profile, workerCounts []int) (*Table2, error) {
 		Workers:     append([]int(nil), workerCounts...),
 		DWP:         make(map[string][]float64),
 	}
-	for _, spec := range workload.Benchmarks() {
-		out.Order = append(out.Order, spec.Name)
-		for _, nw := range workerCounts {
-			ws, err := p.Workers(nw)
-			if err != nil {
-				return nil, err
-			}
-			r, err := p.Run(spec, ws, "bwap", true)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s %dW: %w", spec.Name, nw, err)
-			}
-			out.DWP[spec.Name] = append(out.DWP[spec.Name], r.BestDWP)
+	// Every (benchmark, worker count) pair is an independent cell; run the
+	// whole grid on the shared worker pool.
+	benches := workload.Benchmarks()
+	cells := make([]float64, len(benches)*len(workerCounts))
+	err := parallelFor(len(cells), func(i int) error {
+		spec := benches[i/len(workerCounts)]
+		nw := workerCounts[i%len(workerCounts)]
+		ws, err := p.Workers(nw)
+		if err != nil {
+			return err
 		}
+		r, err := p.Run(spec, ws, "bwap", true)
+		if err != nil {
+			return fmt.Errorf("table2 %s %dW: %w", spec.Name, nw, err)
+		}
+		cells[i] = r.BestDWP
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, spec := range benches {
+		out.Order = append(out.Order, spec.Name)
+		// Full slice expression: rows must not share spare capacity.
+		out.DWP[spec.Name] = cells[bi*len(workerCounts) : (bi+1)*len(workerCounts) : (bi+1)*len(workerCounts)]
 	}
 	return out, nil
 }

@@ -155,71 +155,129 @@ func (s *System) resourceCount() int { return 2*s.m.NumNodes() + s.m.NumLinks() 
 // filling: all unfrozen flows grow at the same rate until either a flow's
 // demand is met (it freezes satisfied) or a resource saturates (all flows
 // through it freeze bottlenecked); repeat until every flow is frozen.
+//
+// Each call allocates a fresh Solver, which keeps System goroutine-safe.
+// Callers on a hot loop should hold their own Solver and call its Solve,
+// which reuses all scratch state and allocates nothing at steady state.
 func (s *System) Solve(flows []Flow) *Result {
+	return s.NewSolver().Solve(flows)
+}
+
+// Solver computes max-min fair rates against one System while reusing all
+// intermediate state across calls. It is not safe for concurrent use; give
+// each goroutine its own Solver (the simulation engine owns one per run).
+type Solver struct {
+	sys *System
+
+	// Per-resource scratch, sized once at construction.
+	capacity []float64
+	initial  []float64
+	streams  []int
+	load     []int32
+
+	// Per-flow scratch, grown on demand and reused.
+	pathBuf   []int32 // concatenated resource lists
+	pathOff   []int32 // pathBuf offsets; flow i's path is pathBuf[pathOff[i]:pathOff[i+1]]
+	remaining []float64
+	activeIdx []int32 // indices of unfrozen flows, ascending
+
+	res Result
+}
+
+// NewSolver returns a reusable solver for the system.
+func (s *System) NewSolver() *Solver {
 	n := s.m.NumNodes()
-	res := &Result{
-		Rates:          make([]float64, len(flows)),
-		ControllerUtil: make([]float64, n),
-		IngestUtil:     make([]float64, n),
-		LinkUtil:       make([]float64, s.m.NumLinks()),
-		NodeOutGBs:     make([]float64, n),
+	rc := s.resourceCount()
+	return &Solver{
+		sys:      s,
+		capacity: make([]float64, rc),
+		initial:  make([]float64, rc),
+		streams:  make([]int, n),
+		load:     make([]int32, rc),
+		res: Result{
+			ControllerUtil: make([]float64, n),
+			IngestUtil:     make([]float64, n),
+			LinkUtil:       make([]float64, s.m.NumLinks()),
+			NodeOutGBs:     make([]float64, n),
+		},
 	}
+}
+
+// path returns flow i's resource list.
+func (sv *Solver) path(i int32) []int32 {
+	return sv.pathBuf[sv.pathOff[i]:sv.pathOff[i+1]]
+}
+
+// Solve computes demand-bounded max-min fair rates for the given flows.
+// The returned Result shares the solver's buffers: it is valid only until
+// the next Solve call on this solver.
+func (sv *Solver) Solve(flows []Flow) *Result {
+	s := sv.sys
+	n := s.m.NumNodes()
+	res := &sv.res
+	res.Rates = grow(res.Rates, len(flows))
+	zero(res.Rates)
+	zero(res.ControllerUtil)
+	zero(res.IngestUtil)
+	zero(res.LinkUtil)
+	zero(res.NodeOutGBs)
 	if len(flows) == 0 {
 		return res
 	}
 
 	// Effective controller capacity given stream counts.
-	streams := make([]int, n)
+	for i := range sv.streams {
+		sv.streams[i] = 0
+	}
 	for _, f := range flows {
 		if f.Demand > 0 {
-			streams[f.Src] += f.streamCount()
+			sv.streams[f.Src] += f.streamCount()
 		}
 	}
-	capacity := make([]float64, s.resourceCount())
+	capacity := sv.capacity
 	for i := 0; i < n; i++ {
 		node := s.m.Node(topology.NodeID(i))
-		capacity[i] = node.ControllerGBs * s.cfg.Efficiency(streams[i])
+		capacity[i] = node.ControllerGBs * s.cfg.Efficiency(sv.streams[i])
 		capacity[n+i] = s.m.IngestGBs()
 	}
 	for l := 0; l < s.m.NumLinks(); l++ {
 		capacity[2*n+l] = s.m.Link(topology.LinkID(l)).CapacityGBs
 	}
-	initial := append([]float64(nil), capacity...)
+	initial := sv.initial
+	copy(initial, capacity)
 
-	// Per-flow resource lists.
-	paths := make([][]int, len(flows))
-	remaining := make([]float64, len(flows))
-	active := make([]bool, len(flows))
-	nActive := 0
+	// Per-flow resource lists (flat) and the active-flow index list.
+	sv.pathOff = grow(sv.pathOff, len(flows)+1)
+	sv.remaining = grow(sv.remaining, len(flows))
+	sv.activeIdx = sv.activeIdx[:0]
+	sv.pathBuf = sv.pathBuf[:0]
+	sv.pathOff[0] = 0
 	for i, f := range flows {
-		if f.Demand <= 0 {
-			continue
+		if f.Demand > 0 {
+			sv.pathBuf = append(sv.pathBuf, int32(f.Src), int32(n+int(f.Dst)))
+			for _, l := range s.m.Route(f.Src, f.Dst) {
+				sv.pathBuf = append(sv.pathBuf, int32(2*n+int(l)))
+			}
+			sv.remaining[i] = f.Demand
+			sv.activeIdx = append(sv.activeIdx, int32(i))
 		}
-		p := []int{int(f.Src), n + int(f.Dst)}
-		for _, l := range s.m.Route(f.Src, f.Dst) {
-			p = append(p, 2*n+int(l))
-		}
-		paths[i] = p
-		remaining[i] = f.Demand
-		active[i] = true
-		nActive++
+		sv.pathOff[i+1] = int32(len(sv.pathBuf))
 	}
 
-	// Progressive filling.
-	load := make([]int, s.resourceCount()) // active flows per resource
+	// Progressive filling. The per-resource active-flow counts (load) are
+	// maintained incrementally: initialized once, decremented along a
+	// flow's path when it freezes — no per-round rescan of the flow set.
+	load := sv.load
+	for r := range load {
+		load[r] = 0
+	}
+	for _, i := range sv.activeIdx {
+		for _, r := range sv.path(i) {
+			load[r]++
+		}
+	}
 	const eps = 1e-9
-	for nActive > 0 {
-		for r := range load {
-			load[r] = 0
-		}
-		for i := range flows {
-			if !active[i] {
-				continue
-			}
-			for _, r := range paths[i] {
-				load[r]++
-			}
-		}
+	for len(sv.activeIdx) > 0 {
 		// The uniform increment every active flow can take.
 		inc := math.Inf(1)
 		for r, k := range load {
@@ -229,51 +287,50 @@ func (s *System) Solve(flows []Flow) *Result {
 				}
 			}
 		}
-		for i := range flows {
-			if active[i] && remaining[i] < inc {
-				inc = remaining[i]
+		for _, i := range sv.activeIdx {
+			if sv.remaining[i] < inc {
+				inc = sv.remaining[i]
 			}
 		}
 		if inc < 0 {
 			inc = 0
 		}
 		// Apply the increment.
-		for i := range flows {
-			if !active[i] {
-				continue
-			}
+		for _, i := range sv.activeIdx {
 			res.Rates[i] += inc
-			remaining[i] -= inc
-			for _, r := range paths[i] {
+			sv.remaining[i] -= inc
+			for _, r := range sv.path(i) {
 				capacity[r] -= inc
 			}
 		}
-		// Freeze satisfied flows and flows on saturated resources.
-		frozeSomething := false
-		for i := range flows {
-			if !active[i] {
-				continue
-			}
-			if remaining[i] <= eps {
-				active[i] = false
-				nActive--
-				frozeSomething = true
-				continue
-			}
-			for _, r := range paths[i] {
-				if capacity[r] <= eps {
-					active[i] = false
-					nActive--
-					frozeSomething = true
-					break
+		// Freeze satisfied flows and flows on saturated resources,
+		// compacting the active list in place (order is preserved).
+		kept := sv.activeIdx[:0]
+		for _, i := range sv.activeIdx {
+			frozen := sv.remaining[i] <= eps
+			if !frozen {
+				for _, r := range sv.path(i) {
+					if capacity[r] <= eps {
+						frozen = true
+						break
+					}
 				}
 			}
+			if frozen {
+				for _, r := range sv.path(i) {
+					load[r]--
+				}
+			} else {
+				kept = append(kept, i)
+			}
 		}
-		if !frozeSomething {
+		if len(kept) == len(sv.activeIdx) {
 			// Defensive: cannot happen (inc always exhausts a demand or a
 			// resource), but never loop forever on numerical corner cases.
+			sv.activeIdx = kept
 			break
 		}
+		sv.activeIdx = kept
 	}
 
 	// Utilizations and per-node outbound counters.
@@ -297,6 +354,22 @@ func (s *System) Solve(flows []Flow) *Result {
 		}
 	}
 	return res
+}
+
+// grow returns s resized to n, reusing capacity; new elements are zeroed
+// only where Go's append semantics leave them stale, so callers must reset
+// any state they rely on.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n, n+n/2)
+}
+
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
 }
 
 // PairwiseBW measures the single-stream bandwidth from src to dst — the

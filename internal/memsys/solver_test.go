@@ -1,0 +1,114 @@
+package memsys
+
+import (
+	"testing"
+
+	"bwap/internal/topology"
+)
+
+// solverFlows builds a representative contended flow set: every worker
+// pulls from every node, private plus shared classes.
+func solverFlows(m *topology.Machine) []Flow {
+	var flows []Flow
+	n := m.NumNodes()
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			flows = append(flows, Flow{
+				Src: topology.NodeID(src), Dst: topology.NodeID(dst),
+				Demand:  5 + float64(src+dst),
+				Streams: 8,
+			})
+			flows = append(flows, Flow{
+				Src: topology.NodeID(src), Dst: topology.NodeID(dst),
+				Demand:  2,
+				Streams: -1,
+			})
+		}
+	}
+	return flows
+}
+
+// TestSolverMatchesSystemSolve pins the reusable solver to the one-shot
+// System.Solve results bit for bit, across repeated reuse.
+func TestSolverMatchesSystemSolve(t *testing.T) {
+	m := topology.MachineA()
+	sys := New(m, DefaultConfig())
+	flows := solverFlows(m)
+	want := sys.Solve(flows)
+	sv := sys.NewSolver()
+	for round := 0; round < 3; round++ {
+		got := sv.Solve(flows)
+		for i := range flows {
+			if got.Rates[i] != want.Rates[i] {
+				t.Fatalf("round %d: rate[%d] = %v, want %v", round, i, got.Rates[i], want.Rates[i])
+			}
+		}
+		for i := range want.ControllerUtil {
+			if got.ControllerUtil[i] != want.ControllerUtil[i] {
+				t.Fatalf("round %d: controller util[%d] differs", round, i)
+			}
+			if got.IngestUtil[i] != want.IngestUtil[i] {
+				t.Fatalf("round %d: ingest util[%d] differs", round, i)
+			}
+			if got.NodeOutGBs[i] != want.NodeOutGBs[i] {
+				t.Fatalf("round %d: node out[%d] differs", round, i)
+			}
+		}
+		for i := range want.LinkUtil {
+			if got.LinkUtil[i] != want.LinkUtil[i] {
+				t.Fatalf("round %d: link util[%d] differs", round, i)
+			}
+		}
+	}
+}
+
+// TestSolverShrinkingFlowSets checks buffer reuse across calls with
+// different flow counts (apps finish, flow sets shrink).
+func TestSolverShrinkingFlowSets(t *testing.T) {
+	m := topology.MachineB()
+	sys := New(m, DefaultConfig())
+	sv := sys.NewSolver()
+	all := solverFlows(m)
+	for _, n := range []int{len(all), 5, len(all), 1, 0, 3} {
+		flows := all[:n]
+		got := sv.Solve(flows)
+		want := sys.Solve(flows)
+		if len(got.Rates) != n {
+			t.Fatalf("rates length %d, want %d", len(got.Rates), n)
+		}
+		for i := range flows {
+			if got.Rates[i] != want.Rates[i] {
+				t.Fatalf("n=%d: rate[%d] = %v, want %v", n, i, got.Rates[i], want.Rates[i])
+			}
+		}
+	}
+}
+
+// TestSolverAllocationFree pins the perf contract: a warmed solver
+// performs no heap allocation per Solve.
+func TestSolverAllocationFree(t *testing.T) {
+	m := topology.MachineA()
+	sys := New(m, DefaultConfig())
+	sv := sys.NewSolver()
+	flows := solverFlows(m)
+	sv.Solve(flows) // warm buffers
+	avg := testing.AllocsPerRun(200, func() { sv.Solve(flows) })
+	if avg != 0 {
+		t.Fatalf("warmed Solver.Solve allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// BenchmarkSolverSolve measures the reusable solver on the fully loaded
+// Machine A flow set.
+func BenchmarkSolverSolve(b *testing.B) {
+	m := topology.MachineA()
+	sys := New(m, DefaultConfig())
+	sv := sys.NewSolver()
+	flows := solverFlows(m)
+	sv.Solve(flows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv.Solve(flows)
+	}
+}

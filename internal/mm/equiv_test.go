@@ -1,0 +1,383 @@
+package mm
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwap/internal/topology"
+)
+
+// refSegment is a per-page reference implementation of the Segment
+// placement semantics — a direct port of the original flat-array code —
+// used to pin the interval implementation to byte-identical behaviour.
+type refSegment struct {
+	numNodes int
+	pages    []topology.NodeID
+	counts   []int64
+	mapped   int
+	migrated int64
+}
+
+func newRefSegment(numNodes, pageCount int) *refSegment {
+	r := &refSegment{
+		numNodes: numNodes,
+		pages:    make([]topology.NodeID, pageCount),
+		counts:   make([]int64, numNodes),
+	}
+	for i := range r.pages {
+		r.pages[i] = Unmapped
+	}
+	return r
+}
+
+func (r *refSegment) setPage(i int, n topology.NodeID) {
+	cur := r.pages[i]
+	if cur == n {
+		return
+	}
+	if cur != Unmapped {
+		r.counts[cur]--
+		r.migrated += PageSize
+	} else {
+		r.mapped++
+	}
+	r.pages[i] = n
+	r.counts[n]++
+}
+
+func (r *refSegment) fault(i int, n topology.NodeID) {
+	if r.pages[i] == Unmapped {
+		r.setPage(i, n)
+	}
+}
+
+func (r *refSegment) faultAll(n topology.NodeID) {
+	for i := range r.pages {
+		r.fault(i, n)
+	}
+}
+
+func (r *refSegment) length() uint64 { return uint64(len(r.pages)) * PageSize }
+
+func (r *refSegment) mbind(offset, length uint64, nodes []topology.NodeID, flags Flags) {
+	nodes = canonicalNodeSet(nodes)
+	if offset >= r.length() || length == 0 {
+		return
+	}
+	end := offset + length
+	if end > r.length() {
+		end = r.length()
+	}
+	first := int(offset / PageSize)
+	last := int((end + PageSize - 1) / PageSize)
+	for p := first; p < last; p++ {
+		target := nodes[(p-first)%len(nodes)]
+		if r.pages[p] == Unmapped || flags&MoveFlag != 0 {
+			r.setPage(p, target)
+		}
+	}
+}
+
+func (r *refSegment) mbindWeighted(weights []float64, flags Flags) {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	credit := make([]float64, len(weights))
+	for p := range r.pages {
+		best := -1
+		for n, w := range weights {
+			if w <= 0 {
+				continue
+			}
+			credit[n] += w / sum
+			if best == -1 || credit[n] > credit[best] {
+				best = n
+			}
+		}
+		credit[best]--
+		target := topology.NodeID(best)
+		if r.pages[p] == Unmapped || flags&MoveFlag != 0 {
+			r.setPage(p, target)
+		}
+	}
+}
+
+func (r *refSegment) migrateToward(target []float64, maxBytes int64) int64 {
+	if r.mapped == 0 || maxBytes <= 0 {
+		return 0
+	}
+	deficit := make([]int64, r.numNodes)
+	for n := range deficit {
+		want := int64(target[n] * float64(r.mapped))
+		deficit[n] = want - r.counts[n]
+	}
+	budget := maxBytes / PageSize
+	moved := int64(0)
+	if budget == 0 {
+		return 0
+	}
+	for i := range r.pages {
+		if budget == 0 {
+			break
+		}
+		cur := r.pages[i]
+		if cur == Unmapped || deficit[cur] >= 0 {
+			continue
+		}
+		best, bestDeficit := -1, int64(0)
+		for n, d := range deficit {
+			if d > bestDeficit {
+				best, bestDeficit = n, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		deficit[cur]++
+		deficit[best]--
+		r.setPage(i, topology.NodeID(best))
+		moved += PageSize
+		budget--
+	}
+	return moved
+}
+
+// checkEquiv compares the interval segment against the reference, page for
+// page, counter for counter.
+func checkEquiv(t *testing.T, step string, s *Segment, ref *refSegment) {
+	t.Helper()
+	if s.MappedPages() != ref.mapped {
+		t.Fatalf("%s: mapped = %d, ref %d", step, s.MappedPages(), ref.mapped)
+	}
+	for n, c := range s.Counts() {
+		if c != ref.counts[n] {
+			t.Fatalf("%s: counts[%d] = %d, ref %d (counts %v vs %v)", step, n, c, ref.counts[n], s.Counts(), ref.counts)
+		}
+	}
+	if got := s.as.TotalMigratedBytes(); got != ref.migrated {
+		t.Fatalf("%s: migrated = %d, ref %d", step, got, ref.migrated)
+	}
+	fr := s.Fractions()
+	for n := range fr {
+		want := 0.0
+		if ref.mapped > 0 {
+			want = float64(ref.counts[n]) / float64(ref.mapped)
+		}
+		if fr[n] != want {
+			t.Fatalf("%s: fraction[%d] = %v, ref %v", step, n, fr[n], want)
+		}
+	}
+	for p := range ref.pages {
+		if got := s.Node(p); got != ref.pages[p] {
+			t.Fatalf("%s: page %d on node %d, ref %d", step, p, got, ref.pages[p])
+		}
+	}
+}
+
+// TestIntervalMatchesPerPageReference drives randomized operation
+// sequences through both implementations and demands byte-identical node
+// assignments, counts, fractions and migration volume after every step.
+func TestIntervalMatchesPerPageReference(t *testing.T) {
+	const numNodes = 4
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		pageCount := 1 + rng.Intn(600)
+		as := NewAddressSpace(numNodes)
+		s := as.AddSegment("d", uint64(pageCount)*PageSize, SharedOwner)
+		ref := newRefSegment(numNodes, pageCount)
+		refDrained := int64(0) // lifetime bytes already drained, mirrors pendingMigrated
+
+		for op := 0; op < 25; op++ {
+			switch rng.Intn(6) {
+			case 0: // single fault
+				p := rng.Intn(pageCount)
+				n := topology.NodeID(rng.Intn(numNodes))
+				s.Fault(p, n)
+				ref.fault(p, n)
+			case 1: // fault everything
+				n := topology.NodeID(rng.Intn(numNodes))
+				s.FaultAll(n)
+				ref.faultAll(n)
+			case 2: // uniform interleave over a random byte range and set
+				var nodes []topology.NodeID
+				for len(nodes) == 0 {
+					for n := 0; n < numNodes; n++ {
+						if rng.Intn(2) == 0 {
+							nodes = append(nodes, topology.NodeID(n))
+						}
+					}
+				}
+				// Deliberately unaligned, possibly out-of-range offsets.
+				offset := uint64(rng.Intn(pageCount+2)) * PageSize / 3 * 3
+				length := uint64(1+rng.Intn(pageCount)) * PageSize * 2 / 3
+				flags := Flags(0)
+				if rng.Intn(2) == 0 {
+					flags = MoveFlag
+				}
+				if err := s.Mbind(offset, length, nodes, flags); err != nil {
+					t.Fatal(err)
+				}
+				ref.mbind(offset, length, nodes, flags)
+			case 3: // kernel-level weighted interleave
+				w := make([]float64, numNodes)
+				sum := 0.0
+				for n := range w {
+					w[n] = float64(rng.Intn(8))
+					sum += w[n]
+				}
+				if sum == 0 {
+					w[rng.Intn(numNodes)] = 1
+				}
+				flags := Flags(0)
+				if rng.Intn(2) == 0 {
+					flags = MoveFlag
+				}
+				if err := s.MbindWeighted(w, flags); err != nil {
+					t.Fatal(err)
+				}
+				ref.mbindWeighted(w, flags)
+			case 4: // drain returns the delta since the previous drain
+				got := as.DrainMigratedBytes()
+				if want := ref.migrated - refDrained; got != want {
+					t.Fatalf("trial %d op %d: drain = %d, ref %d", trial, op, got, want)
+				}
+				refDrained = ref.migrated
+			case 5: // rate-limited migration toward a random distribution
+				target := make([]float64, numNodes)
+				rem := 1.0
+				for n := 0; n < numNodes-1; n++ {
+					target[n] = rem * rng.Float64()
+					rem -= target[n]
+				}
+				target[numNodes-1] = rem
+				budget := int64(rng.Intn(2*pageCount)) * PageSize
+				moved, err := s.MigrateToward(target, budget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := ref.migrateToward(target, budget); moved != want {
+					t.Fatalf("trial %d op %d: MigrateToward moved %d, ref %d", trial, op, moved, want)
+				}
+			}
+			checkEquiv(t, "after op", s, ref)
+		}
+	}
+}
+
+// TestMigrateTowardIntervalInvariants checks the interval MigrateToward
+// against the properties the per-page version guaranteed: budget respected,
+// page population preserved, deficits never overshot, deterministic.
+func TestMigrateTowardIntervalInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		pageCount := 50 + rng.Intn(400)
+		as := NewAddressSpace(4)
+		s := as.AddSegment("d", uint64(pageCount)*PageSize, SharedOwner)
+		// Random starting placement.
+		s.FaultAll(topology.NodeID(rng.Intn(4)))
+		if rng.Intn(2) == 0 {
+			nodes := []topology.NodeID{0, topology.NodeID(1 + rng.Intn(3))}
+			if err := s.Mbind(0, s.Length(), nodes, MoveFlag); err != nil {
+				t.Fatal(err)
+			}
+		}
+		target := make([]float64, 4)
+		rem := 1.0
+		for n := 0; n < 3; n++ {
+			target[n] = rem * rng.Float64()
+			rem -= target[n]
+		}
+		target[3] = rem
+		budget := int64(1+rng.Intn(pageCount)) * PageSize
+
+		before := s.Counts()
+		var beforeTotal int64
+		for _, c := range before {
+			beforeTotal += c
+		}
+		moved, err := s.MigrateToward(target, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved > budget {
+			t.Fatalf("moved %d bytes over budget %d", moved, budget)
+		}
+		var afterTotal int64
+		for _, c := range s.Counts() {
+			afterTotal += c
+		}
+		if afterTotal != beforeTotal || s.MappedPages() != pageCount {
+			t.Fatalf("page population changed: %d -> %d", beforeTotal, afterTotal)
+		}
+		// No node may end up further from its target than it started on the
+		// wrong side (no overshoot past the deficit).
+		for n, c := range s.Counts() {
+			want := int64(target[n] * float64(pageCount))
+			if before[n] < want && c > want {
+				t.Fatalf("node %d overshot: %d -> %d (want %d)", n, before[n], c, want)
+			}
+			if before[n] > want && c < want {
+				t.Fatalf("node %d undershot: %d -> %d (want %d)", n, before[n], c, want)
+			}
+		}
+	}
+}
+
+// TestMigrateTowardFullySatisfiesWithBudget confirms convergence matches
+// the per-page implementation's end state when the budget is unbounded.
+func TestMigrateTowardFullySatisfiesWithBudget(t *testing.T) {
+	as := NewAddressSpace(4)
+	s := as.AddSegment("d", PageSize*1000, SharedOwner)
+	s.FaultAll(0)
+	target := []float64{0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < 10; i++ {
+		if _, err := s.MigrateToward(target, 1<<40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Counts()
+	for n, f := range target {
+		want := int64(f * 1000)
+		if diff := c[n] - want; diff < -1 || diff > 1+3 { // rounding slack
+			t.Fatalf("counts[%d] = %d, want ~%d", n, c[n], want)
+		}
+	}
+	moved, _ := s.MigrateToward(target, 1<<40)
+	if moved != 0 {
+		t.Fatalf("converged segment still moved %d bytes", moved)
+	}
+}
+
+// TestRunCompressionStaysBounded pins the representation advantage the
+// rewrite exists for: a multi-GiB segment is one run after a uniform
+// placement and O(nodes) runs after Algorithm-1-style sub-range binds.
+func TestRunCompressionStaysBounded(t *testing.T) {
+	as := NewAddressSpace(8)
+	s := as.AddSegment("big", 4<<30, SharedOwner) // 1M pages, no per-page state
+	all := make([]topology.NodeID, 8)
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	if err := s.Mbind(0, s.Length(), all, MoveFlag); err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs() != 1 {
+		t.Fatalf("uniform placement uses %d runs, want 1", s.Runs())
+	}
+	// Algorithm-1 shape: progressively narrower sub-range binds.
+	addr := uint64(0)
+	for i := 0; i < 8; i++ {
+		size := s.Length() / 8
+		if err := s.Mbind(addr, size, all[i:], MoveFlag); err != nil {
+			t.Fatal(err)
+		}
+		addr += size
+	}
+	if s.Runs() > 8 {
+		t.Fatalf("sub-range binds fragmented into %d runs, want <= 8", s.Runs())
+	}
+	if s.MappedPages() != s.PageCount() {
+		t.Fatal("pages lost")
+	}
+}

@@ -9,12 +9,24 @@
 // API surface; the core package reimplements the algorithm verbatim on top
 // of this package.
 //
+// Pages are not materialized individually. A Segment stores a sorted list
+// of runs — (startPage, placement-pattern) intervals covering the segment —
+// so creating a segment is O(1) regardless of size, placement calls split
+// and merge O(affected runs), per-node page counts are maintained
+// incrementally, and Fractions() is a cached view recomputed only after a
+// placement change. Placement patterns are either an explicit node sequence
+// applied cyclically from an origin page (faults, binds and uniform
+// interleaves) or a weighted Bresenham assignment anchored at page 0 (the
+// kernel-level weighted interleave); both reproduce, page for page, the
+// assignment a per-page implementation of the same calls would produce.
+//
 // An AddressSpace is not safe for concurrent use; the simulation engine
 // drives each address space from a single goroutine.
 package mm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"bwap/internal/topology"
@@ -44,18 +56,244 @@ const (
 	StrictFlag
 )
 
+// patternKind discriminates the placement patterns a run can carry.
+type patternKind uint8
+
+const (
+	patUnmapped patternKind = iota
+	// patSeq assigns page p to seq[(p-origin) mod len(seq)].
+	patSeq
+	// patWeighted assigns pages by the Bresenham weighted round-robin of
+	// MbindWeighted, anchored at page 0 of the segment.
+	patWeighted
+)
+
+// pattern is a placement rule for a page interval. Patterns are value
+// types; their slices are immutable once built and may be shared between
+// runs (splits keep the slice, only the covered interval changes).
+type pattern struct {
+	kind    patternKind
+	origin  int
+	seq     []topology.NodeID
+	weights []float64 // normalized
+}
+
+func (p pattern) mapped() bool { return p.kind != patUnmapped }
+
+// sameFunc reports whether two patterns assign every page identically —
+// the merge criterion for adjacent runs.
+func (p pattern) sameFunc(q pattern) bool {
+	if p.kind != q.kind {
+		return false
+	}
+	switch p.kind {
+	case patUnmapped:
+		return true
+	case patSeq:
+		k := len(p.seq)
+		return len(q.seq) == k && (p.origin-q.origin)%k == 0 && slices.Equal(p.seq, q.seq)
+	default:
+		return slices.Equal(p.weights, q.weights)
+	}
+}
+
+// seqIndex returns the index into seq for an absolute page.
+func (p pattern) seqIndex(page int) int {
+	k := len(p.seq)
+	i := (page - p.origin) % k
+	if i < 0 {
+		i += k
+	}
+	return i
+}
+
+// nodeAt returns the node the pattern assigns to page. Weighted patterns
+// replay the Bresenham walk from page 0, so this is O(page) for them; it is
+// only used by point queries (tests, tools) and the slow migration path.
+func (p pattern) nodeAt(page int) topology.NodeID {
+	switch p.kind {
+	case patUnmapped:
+		return Unmapped
+	case patSeq:
+		return p.seq[p.seqIndex(page)]
+	default:
+		it := newBresIter(p.weights)
+		var n topology.NodeID
+		for i := 0; i <= page; i++ {
+			n = it.next()
+		}
+		return n
+	}
+}
+
+// countInto adds sign× the pattern's per-node page counts over [lo,hi)
+// into counts. Seq patterns are counted in O(len(seq)); weighted patterns
+// replay the Bresenham walk (placement-time only).
+func (p pattern) countInto(lo, hi int, counts []int64, sign int64) {
+	if lo >= hi {
+		return
+	}
+	switch p.kind {
+	case patUnmapped:
+	case patSeq:
+		k := len(p.seq)
+		span := hi - lo
+		if cycles := int64(span / k); cycles > 0 {
+			for _, n := range p.seq {
+				counts[n] += sign * cycles
+			}
+		}
+		idx := p.seqIndex(lo)
+		for i := 0; i < span%k; i++ {
+			counts[p.seq[idx]] += sign
+			idx++
+			if idx == k {
+				idx = 0
+			}
+		}
+	default:
+		it := newBresIter(p.weights)
+		for page := 0; page < hi; page++ {
+			n := it.next()
+			if page >= lo {
+				counts[n] += sign
+			}
+		}
+	}
+}
+
+// samePlacement counts the pages in [lo,hi) that patterns p and q assign
+// to the same node — the pages a re-bind from p to q does NOT migrate.
+// Two cyclic patterns are compared over one joint period; weighted
+// patterns are replayed.
+func samePlacement(p, q pattern, lo, hi int) int64 {
+	if lo >= hi {
+		return 0
+	}
+	if p.kind == patSeq && q.kind == patSeq {
+		span := hi - lo
+		period := lcm(len(p.seq), len(q.seq))
+		window := period
+		if window > span {
+			window = span
+		}
+		ip, iq := p.seqIndex(lo), q.seqIndex(lo)
+		var windowMatch, rem int64
+		remLen := span % period
+		for i := 0; i < window; i++ {
+			if p.seq[ip] == q.seq[iq] {
+				windowMatch++
+				if i < remLen {
+					rem++
+				}
+			}
+			if ip++; ip == len(p.seq) {
+				ip = 0
+			}
+			if iq++; iq == len(q.seq) {
+				iq = 0
+			}
+		}
+		if span <= period {
+			return windowMatch
+		}
+		return int64(span/period)*windowMatch + rem
+	}
+	// At least one weighted side: replay from page 0.
+	next := patternCursor(p)
+	nextQ := patternCursor(q)
+	var match int64
+	for page := 0; page < hi; page++ {
+		a, b := next(), nextQ()
+		if page >= lo && a == b {
+			match++
+		}
+	}
+	return match
+}
+
+// patternCursor returns a function yielding the pattern's node for pages
+// 0, 1, 2, … in order.
+func patternCursor(p pattern) func() topology.NodeID {
+	switch p.kind {
+	case patSeq:
+		idx := p.seqIndex(0)
+		return func() topology.NodeID {
+			n := p.seq[idx]
+			if idx++; idx == len(p.seq) {
+				idx = 0
+			}
+			return n
+		}
+	case patWeighted:
+		it := newBresIter(p.weights)
+		return it.next
+	default:
+		return func() topology.NodeID { return Unmapped }
+	}
+}
+
+func lcm(a, b int) int {
+	x, y := a, b
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return a / x * b
+}
+
+// bresIter replays the Bresenham weighted round-robin of MbindWeighted:
+// each page, every positive weight accrues credit and the page goes to the
+// highest-credit node (first index wins ties), which then pays one page of
+// credit. The arithmetic matches a per-page implementation bit for bit.
+type bresIter struct {
+	weights []float64
+	credit  []float64
+}
+
+func newBresIter(weights []float64) *bresIter {
+	return &bresIter{weights: weights, credit: make([]float64, len(weights))}
+}
+
+func (it *bresIter) next() topology.NodeID {
+	best := -1
+	for n, w := range it.weights {
+		if w <= 0 {
+			continue
+		}
+		it.credit[n] += w
+		if best == -1 || it.credit[n] > it.credit[best] {
+			best = n
+		}
+	}
+	it.credit[best]--
+	return topology.NodeID(best)
+}
+
+// run is one interval of pages sharing a placement pattern. A run spans
+// [start, nextRun.start) — the last run ends at the segment's page count.
+type run struct {
+	start int
+	pat   pattern
+}
+
 // Segment is one contiguous virtual mapping (e.g. .data, BSS, or a heap
-// arena) with a per-page physical node assignment.
+// arena) with a per-page physical node assignment, stored run-length
+// encoded.
 type Segment struct {
-	name  string
-	start uint64
-	// pages[i] is the node holding page i, or Unmapped.
-	pages []topology.NodeID
-	// counts[n] is the number of pages currently on node n.
+	name      string
+	start     uint64
+	pageCount int
+	runs      []run
+	runsAlt   []run // scratch for rebuilds, swapped with runs
+	// counts[n] is the number of pages currently on node n, maintained
+	// incrementally by every placement operation.
 	counts []int64
 	mapped int
 	owner  topology.NodeID
 	as     *AddressSpace
+
+	frac      []float64
+	fracDirty bool
 }
 
 // AddressSpace is the set of segments of one simulated process.
@@ -69,6 +307,8 @@ type AddressSpace struct {
 	// pendingMigrated counts migrations since the last Drain; the engine
 	// drains it each tick to charge migration bandwidth cost.
 	pendingMigrated int64
+	// singleSeq caches one-node sequences so faults and binds share them.
+	singleSeq [][]topology.NodeID
 }
 
 // NewAddressSpace returns an empty address space for a machine with
@@ -87,9 +327,21 @@ func NewAddressSpace(numNodes int) *AddressSpace {
 // NumNodes returns the node count the address space was built for.
 func (as *AddressSpace) NumNodes() int { return as.numNodes }
 
+// single returns the shared one-node sequence for n.
+func (as *AddressSpace) single(n topology.NodeID) []topology.NodeID {
+	if as.singleSeq == nil {
+		as.singleSeq = make([][]topology.NodeID, as.numNodes)
+	}
+	if as.singleSeq[n] == nil {
+		as.singleSeq[n] = []topology.NodeID{n}
+	}
+	return as.singleSeq[n]
+}
+
 // AddSegment appends a segment of the given length (rounded up to a page
 // multiple). owner is SharedOwner for shared data or a node id for
-// thread-private data of the threads pinned on that node.
+// thread-private data of the threads pinned on that node. The segment is
+// created unmapped in O(1) — no per-page state exists.
 func (as *AddressSpace) AddSegment(name string, length uint64, owner topology.NodeID) *Segment {
 	if length == 0 {
 		panic(fmt.Sprintf("mm: segment %q has zero length", name))
@@ -99,16 +351,16 @@ func (as *AddressSpace) AddSegment(name string, length uint64, owner topology.No
 	}
 	n := int((length + PageSize - 1) / PageSize)
 	s := &Segment{
-		name:   name,
-		start:  as.nextAddr,
-		pages:  make([]topology.NodeID, n),
-		counts: make([]int64, as.numNodes),
-		owner:  owner,
-		as:     as,
+		name:      name,
+		start:     as.nextAddr,
+		pageCount: n,
+		runs:      make([]run, 1, 4),
+		counts:    make([]int64, as.numNodes),
+		frac:      make([]float64, as.numNodes),
+		owner:     owner,
+		as:        as,
 	}
-	for i := range s.pages {
-		s.pages[i] = Unmapped
-	}
+	s.runs[0] = run{start: 0, pat: pattern{kind: patUnmapped}}
 	as.nextAddr += uint64(n) * PageSize
 	as.segments = append(as.segments, s)
 	as.byName[name] = s
@@ -152,10 +404,10 @@ func (s *Segment) Name() string { return s.name }
 func (s *Segment) Start() uint64 { return s.start }
 
 // Length returns the segment length in bytes.
-func (s *Segment) Length() uint64 { return uint64(len(s.pages)) * PageSize }
+func (s *Segment) Length() uint64 { return uint64(s.pageCount) * PageSize }
 
 // PageCount returns the number of pages in the segment.
-func (s *Segment) PageCount() int { return len(s.pages) }
+func (s *Segment) PageCount() int { return s.pageCount }
 
 // MappedPages returns how many pages have been faulted in.
 func (s *Segment) MappedPages() int { return s.mapped }
@@ -163,57 +415,142 @@ func (s *Segment) MappedPages() int { return s.mapped }
 // Owner returns SharedOwner or the owning node for private segments.
 func (s *Segment) Owner() topology.NodeID { return s.owner }
 
-// Node returns the node of page i, or Unmapped.
-func (s *Segment) Node(i int) topology.NodeID { return s.pages[i] }
+// Runs returns the number of placement runs the segment currently holds —
+// an observability hook for fragmentation monitoring.
+func (s *Segment) Runs() int { return len(s.runs) }
+
+// runIndex returns the index of the run containing page i.
+func (s *Segment) runIndex(i int) int {
+	return sort.Search(len(s.runs), func(j int) bool { return s.runs[j].start > i }) - 1
+}
+
+// runEnd returns the exclusive page bound of run j.
+func (s *Segment) runEnd(j int) int {
+	if j+1 < len(s.runs) {
+		return s.runs[j+1].start
+	}
+	return s.pageCount
+}
+
+// Node returns the node of page i, or Unmapped. It panics for an
+// out-of-range page, like an indexed per-page array would.
+func (s *Segment) Node(i int) topology.NodeID {
+	if i < 0 || i >= s.pageCount {
+		panic(fmt.Sprintf("mm: %s: page %d out of range [0,%d)", s.name, i, s.pageCount))
+	}
+	return s.runs[s.runIndex(i)].pat.nodeAt(i)
+}
 
 // Counts returns a copy of the per-node page counts.
 func (s *Segment) Counts() []int64 { return append([]int64(nil), s.counts...) }
 
+// NumNodes returns the node count of the segment's address space.
+func (s *Segment) NumNodes() int { return s.as.numNodes }
+
 // Fractions returns the fraction of mapped pages on each node. If nothing
 // is mapped, all fractions are zero.
+//
+// The returned slice is a cached view owned by the segment, recomputed
+// lazily after placement changes: callers must not modify it and must not
+// hold it across placement operations. The simulation engine reads it
+// every tick; the cache is what keeps that read allocation-free.
 func (s *Segment) Fractions() []float64 {
-	out := make([]float64, len(s.counts))
-	if s.mapped == 0 {
-		return out
+	if s.fracDirty {
+		s.fracDirty = false
+		if s.mapped == 0 {
+			for i := range s.frac {
+				s.frac[i] = 0
+			}
+		} else {
+			m := float64(s.mapped)
+			for n, c := range s.counts {
+				s.frac[n] = float64(c) / m
+			}
+		}
 	}
-	for n, c := range s.counts {
-		out[n] = float64(c) / float64(s.mapped)
-	}
-	return out
+	return s.frac
 }
 
-// setPage maps or migrates page i to node n, maintaining counters.
-func (s *Segment) setPage(i int, n topology.NodeID) {
-	cur := s.pages[i]
-	if cur == n {
+// appendRun appends a run to dst, merging it into the previous run when
+// both cover pages with the same placement function.
+func appendRun(dst []run, start int, pat pattern) []run {
+	if n := len(dst); n > 0 && dst[n-1].pat.sameFunc(pat) {
+		return dst
+	}
+	return append(dst, run{start: start, pat: pat})
+}
+
+// replaceRange applies pattern np to pages [a,b): unmapped pages always
+// adopt np (allocation under the policy); mapped pages adopt it only when
+// move is set, counting a migration for every page whose node changes.
+// Counts, the mapped total and the migration accumulators are maintained
+// incrementally; the runs slice is rebuilt into scratch and swapped, so a
+// steady-state re-bind of an existing range allocates nothing.
+func (s *Segment) replaceRange(a, b int, np pattern, move bool) {
+	if a < 0 {
+		a = 0
+	}
+	if b > s.pageCount {
+		b = s.pageCount
+	}
+	if a >= b {
 		return
 	}
-	if cur != Unmapped {
-		s.counts[cur]--
-		s.as.migratedBytes += PageSize
-		s.as.pendingMigrated += PageSize
-	} else {
-		s.mapped++
+	out := s.runsAlt[:0]
+	migrated := int64(0)
+	for j := range s.runs {
+		r := s.runs[j]
+		lo, hi := r.start, s.runEnd(j)
+		if hi <= a || lo >= b {
+			out = appendRun(out, lo, r.pat)
+			continue
+		}
+		if lo < a {
+			out = appendRun(out, lo, r.pat)
+		}
+		il, ih := max(lo, a), min(hi, b)
+		switch {
+		case !r.pat.mapped():
+			s.mapped += ih - il
+			np.countInto(il, ih, s.counts, 1)
+			out = appendRun(out, il, np)
+		case move:
+			migrated += int64(ih-il) - samePlacement(r.pat, np, il, ih)
+			r.pat.countInto(il, ih, s.counts, -1)
+			np.countInto(il, ih, s.counts, 1)
+			out = appendRun(out, il, np)
+		default:
+			out = appendRun(out, il, r.pat)
+		}
+		if hi > b {
+			out = appendRun(out, b, r.pat)
+		}
 	}
-	s.pages[i] = n
-	s.counts[n]++
+	s.runs, s.runsAlt = out, s.runs
+	s.fracDirty = true
+	if migrated > 0 {
+		s.as.migratedBytes += migrated * PageSize
+		s.as.pendingMigrated += migrated * PageSize
+	}
 }
 
 // Fault maps page i onto node n if it is unmapped (first-touch semantics).
-// It reports whether a new mapping was created.
+// It reports whether a new mapping was created. It panics for an
+// out-of-range page, like an indexed per-page array would.
 func (s *Segment) Fault(i int, n topology.NodeID) bool {
-	if s.pages[i] != Unmapped {
+	if i < 0 || i >= s.pageCount {
+		panic(fmt.Sprintf("mm: %s: page %d out of range [0,%d)", s.name, i, s.pageCount))
+	}
+	if s.runs[s.runIndex(i)].pat.mapped() {
 		return false
 	}
-	s.setPage(i, n)
+	s.replaceRange(i, i+1, pattern{kind: patSeq, origin: i, seq: s.as.single(n)}, false)
 	return true
 }
 
 // FaultAll first-touches every unmapped page of the segment onto node n.
 func (s *Segment) FaultAll(n topology.NodeID) {
-	for i := range s.pages {
-		s.Fault(i, n)
-	}
+	s.replaceRange(0, s.pageCount, pattern{kind: patSeq, seq: s.as.single(n)}, false)
 }
 
 // canonicalNodeSet sorts node ids ascending and removes duplicates,
@@ -261,7 +598,7 @@ func (s *Segment) Mbind(offset, length uint64, nodes []topology.NodeID, flags Fl
 	if err := s.checkNodes(nodes); err != nil {
 		return err
 	}
-	nodes = canonicalNodeSet(nodes)
+	set := canonicalNodeSet(nodes)
 	if offset >= s.Length() || length == 0 {
 		return nil
 	}
@@ -271,12 +608,10 @@ func (s *Segment) Mbind(offset, length uint64, nodes []topology.NodeID, flags Fl
 	}
 	first := int(offset / PageSize)
 	last := int((end + PageSize - 1) / PageSize)
-	for p := first; p < last; p++ {
-		target := nodes[(p-first)%len(nodes)]
-		if s.pages[p] == Unmapped || flags&MoveFlag != 0 {
-			s.setPage(p, target)
-		}
+	if len(set) == 1 {
+		set = s.as.single(set[0]) // share the sequence so adjacent binds merge
 	}
+	s.replaceRange(first, last, pattern{kind: patSeq, origin: first, seq: set}, flags&MoveFlag != 0)
 	return nil
 }
 
@@ -299,32 +634,27 @@ func (s *Segment) MbindWeighted(weights []float64, flags Flags) error {
 	if sum <= 0 {
 		return fmt.Errorf("mm: %s: weights sum to zero", s.name)
 	}
-	credit := make([]float64, len(weights))
-	for p := range s.pages {
-		best := -1
-		for n, w := range weights {
-			if w <= 0 {
-				continue
-			}
-			credit[n] += w / sum
-			if best == -1 || credit[n] > credit[best] {
-				best = n
-			}
-		}
-		credit[best]--
-		target := topology.NodeID(best)
-		if s.pages[p] == Unmapped || flags&MoveFlag != 0 {
-			s.setPage(p, target)
-		}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
 	}
+	s.replaceRange(0, s.pageCount, pattern{kind: patWeighted, weights: norm}, flags&MoveFlag != 0)
 	return nil
+}
+
+// migrateEdit is one contiguous block of pages MigrateToward re-homes.
+type migrateEdit struct {
+	lo, hi int
+	to     topology.NodeID
 }
 
 // MigrateToward moves up to maxBytes of mapped pages so the segment's
 // distribution approaches target (a fraction vector over nodes). Pages move
-// from the most over-represented nodes to the most under-represented ones.
-// It returns the bytes actually migrated. This is the primitive behind the
-// simulated AutoNUMA policy's rate-limited locality migrations.
+// in page order from the most over-represented nodes to the most
+// under-represented ones, and the cost is proportional to the runs visited
+// and pages actually moved — not the segment size. It returns the bytes
+// actually migrated. This is the primitive behind the simulated AutoNUMA
+// policy's rate-limited locality migrations.
 func (s *Segment) MigrateToward(target []float64, maxBytes int64) (int64, error) {
 	if len(target) != s.as.numNodes {
 		return 0, fmt.Errorf("mm: %s: %d target fractions for %d nodes", s.name, len(target), s.as.numNodes)
@@ -339,34 +669,133 @@ func (s *Segment) MigrateToward(target []float64, maxBytes int64) (int64, error)
 		deficit[n] = want - s.counts[n]
 	}
 	budget := maxBytes / PageSize
-	moved := int64(0)
 	if budget == 0 {
 		return 0, nil
 	}
-	// Single pass: re-home pages on over-represented nodes to the node with
-	// the largest deficit.
-	for i := range s.pages {
-		if budget == 0 {
-			break
-		}
-		cur := s.pages[i]
-		if cur == Unmapped || deficit[cur] >= 0 {
-			continue
-		}
+	argmax := func() int {
 		best, bestDeficit := -1, int64(0)
 		for n, d := range deficit {
 			if d > bestDeficit {
 				best, bestDeficit = n, d
 			}
 		}
-		if best < 0 {
-			break
-		}
-		deficit[cur]++
-		deficit[best]--
-		s.setPage(i, topology.NodeID(best))
-		moved += PageSize
-		budget--
+		return best
 	}
-	return moved, nil
+	// receiverQuota returns how many consecutive pages may move to rcv
+	// before a per-page argmax re-evaluation would pick a different
+	// receiver — the bound that keeps bulk moves identical to a per-page
+	// implementation, which alternates between receivers whose deficits
+	// converge (ties break to the lowest node id).
+	receiverQuota := func(rcv int) int64 {
+		second, secondIdx := int64(0), -1
+		for n, d := range deficit {
+			if n != rcv && d > second {
+				second, secondIdx = d, n
+			}
+		}
+		if secondIdx < 0 {
+			return deficit[rcv]
+		}
+		q := deficit[rcv] - second
+		if rcv < secondIdx {
+			q++ // rcv wins the tie at equality
+		}
+		return q
+	}
+	var edits []migrateEdit
+	moved := int64(0)
+scan:
+	for j := 0; j < len(s.runs) && budget > 0; j++ {
+		r := s.runs[j]
+		lo, hi := r.start, s.runEnd(j)
+		if !r.pat.mapped() {
+			continue
+		}
+		if r.pat.kind == patSeq && len(r.pat.seq) == 1 {
+			// Fast path: a single-node run donates a contiguous prefix.
+			d := r.pat.seq[0]
+			p := lo
+			for budget > 0 && p < hi && deficit[d] < 0 {
+				rcv := argmax()
+				if rcv < 0 {
+					break scan
+				}
+				k := min(int64(hi-p), -deficit[d], receiverQuota(rcv), budget)
+				edits = append(edits, migrateEdit{lo: p, hi: p + int(k), to: topology.NodeID(rcv)})
+				s.counts[d] -= k
+				s.counts[rcv] += k
+				deficit[d] += k
+				deficit[rcv] -= k
+				budget -= k
+				moved += k
+				p += int(k)
+			}
+			continue
+		}
+		// General path: walk the run's assignment page by page. Bounded by
+		// the run length, as a per-page implementation would be.
+		next := patternCursor(r.pat)
+		for skip := 0; skip < lo; skip++ {
+			next()
+		}
+		for p := lo; p < hi && budget > 0; p++ {
+			cur := next()
+			if deficit[cur] >= 0 {
+				continue
+			}
+			rcv := argmax()
+			if rcv < 0 {
+				break scan
+			}
+			if n := len(edits); n > 0 && edits[n-1].hi == p && edits[n-1].to == topology.NodeID(rcv) {
+				edits[n-1].hi = p + 1
+			} else {
+				edits = append(edits, migrateEdit{lo: p, hi: p + 1, to: topology.NodeID(rcv)})
+			}
+			s.counts[cur]--
+			s.counts[rcv]++
+			deficit[cur]++
+			deficit[rcv]--
+			budget--
+			moved++
+		}
+	}
+	if moved == 0 {
+		return 0, nil
+	}
+	s.applyEdits(edits)
+	s.as.migratedBytes += moved * PageSize
+	s.as.pendingMigrated += moved * PageSize
+	s.fracDirty = true
+	return moved * PageSize, nil
+}
+
+// applyEdits rebuilds the runs slice with the (sorted, disjoint) edit
+// blocks re-homed to their destination nodes. Counts have already been
+// adjusted by the caller.
+func (s *Segment) applyEdits(edits []migrateEdit) {
+	out := s.runsAlt[:0]
+	e := 0
+	for j := range s.runs {
+		r := s.runs[j]
+		lo, hi := r.start, s.runEnd(j)
+		pos := lo
+		for e < len(edits) && edits[e].lo < hi {
+			// Clip the edit to this run; a coalesced edit may span runs.
+			el, eh := max(edits[e].lo, lo), min(edits[e].hi, hi)
+			if pos < el {
+				out = appendRun(out, pos, r.pat)
+			}
+			out = appendRun(out, el, pattern{kind: patSeq, origin: el, seq: s.as.single(edits[e].to)})
+			pos = eh
+			if edits[e].hi > hi {
+				break // remainder of the edit belongs to the next run
+			}
+			e++
+		}
+		if pos < hi {
+			out = appendRun(out, pos, r.pat)
+		}
+	}
+	s.runs, s.runsAlt = out, s.runs
 }

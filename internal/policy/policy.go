@@ -127,6 +127,7 @@ type AutoNUMA struct {
 	lastScan float64
 	rotor    int
 	attached bool
+	target   []float64 // reusable fraction-vector scratch
 }
 
 // Name implements sim.Placer.
@@ -173,7 +174,13 @@ func (p *AutoNUMA) Tick(e *sim.Engine) {
 		}
 		perSeg := budget / int64(len(segs))
 		for _, seg := range segs {
-			target := make([]float64, e.M.NumNodes())
+			if len(p.target) != e.M.NumNodes() {
+				p.target = make([]float64, e.M.NumNodes())
+			}
+			target := p.target
+			for i := range target {
+				target[i] = 0
+			}
 			if owner := seg.Owner(); owner != mm.SharedOwner {
 				// Private pages: the owner is the unambiguous majority.
 				target[owner] = 1

@@ -1,0 +1,65 @@
+package sim_test
+
+import (
+	"testing"
+
+	"bwap/internal/memsys"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+)
+
+// TestLatQueueFactorExplicitZeroDisables pins the Config fix: nil selects
+// the default queueing feedback, while a pointer to zero really disables
+// it — previously indistinguishable states.
+func TestLatQueueFactorExplicitZeroDisables(t *testing.T) {
+	m := topology.MachineA()
+	run := func(cfg sim.Config) float64 {
+		e := sim.New(m, cfg)
+		// A strongly latency-sensitive app under partial contention: the
+		// utilization-driven latency feedback throttles its demand, so
+		// disabling the feedback measurably changes completion time.
+		if _, err := e.AddApp("a", smallSpec(30, 0, 0, 2.0, 100), []topology.NodeID{0}, testPlacer{"uniform-all"}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"]
+	}
+	def := run(sim.Config{})
+	expl := run(sim.Config{LatQueueFactor: sim.FloatPtr(0.35)})
+	if def != expl {
+		t.Fatalf("explicit default (%v) differs from nil default (%v)", expl, def)
+	}
+	disabled := run(sim.Config{LatQueueFactor: sim.FloatPtr(0)})
+	if disabled == def {
+		t.Fatal("LatQueueFactor = &0 behaved like the default: zero is still conflated with unset")
+	}
+}
+
+// TestMemNilSelectsDefault pins that a nil Mem equals the explicit default
+// config, and that a non-default config is respected.
+func TestMemNilSelectsDefault(t *testing.T) {
+	m := topology.MachineB()
+	run := func(cfg sim.Config) float64 {
+		e := sim.New(m, cfg)
+		if _, err := e.AddApp("a", smallSpec(20, 10, 0, 0, 60), []topology.NodeID{0}, testPlacer{"uniform-all"}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Times["a"]
+	}
+	def := run(sim.Config{})
+	expl := run(sim.Config{Mem: sim.MemPtr(memsys.DefaultConfig())})
+	if def != expl {
+		t.Fatalf("nil Mem (%v) differs from explicit default (%v)", def, expl)
+	}
+	custom := run(sim.Config{Mem: sim.MemPtr(memsys.Config{StreamPenalty: 0.035, EfficiencyFloor: 0.7, WritePenalty: 3})})
+	if custom == def {
+		t.Fatal("custom Mem config ignored")
+	}
+}

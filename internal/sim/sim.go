@@ -51,21 +51,29 @@ type Hook interface {
 }
 
 // Config tunes the engine. The zero value is completed by defaults.
+//
+// Mem and LatQueueFactor are pointers so that an explicit zero/disabled
+// setting is distinguishable from "unset": nil selects the default, while
+// a pointer to a zero value really means zero (e.g. LatQueueFactor
+// pointing at 0 disables the queueing latency feedback entirely). Use
+// FloatPtr and MemPtr to build them inline.
 type Config struct {
 	// DT is the tick length in simulated seconds (default 0.1).
 	DT float64
 	// MaxTime aborts the run after this much simulated time (default 3600).
 	MaxTime float64
-	// Mem configures the contention model (default memsys.DefaultConfig).
-	Mem memsys.Config
+	// Mem configures the contention model; nil selects
+	// memsys.DefaultConfig().
+	Mem *memsys.Config
 	// MigrationGBs is the bandwidth budget for draining page-migration
 	// backlog, per application (default 2.0 GB/s). Migration traffic is
 	// stolen from the application's achieved bandwidth, which is how the
 	// DWP tuner's overhead arises.
 	MigrationGBs float64
 	// LatQueueFactor scales the utilization-dependent latency multiplier
-	// on loaded memory controllers: mult = 1 + f·u²/(1.02−u) (default 0.35).
-	LatQueueFactor float64
+	// on loaded memory controllers: mult = 1 + f·u²/(1.02−u). nil selects
+	// the default 0.35; a pointer to 0 disables the feedback.
+	LatQueueFactor *float64
 	// LatSmoothing is the exponential smoothing factor for the latency
 	// feedback across ticks, in (0,1] (default 0.5).
 	LatSmoothing float64
@@ -81,6 +89,13 @@ type Config struct {
 	Seed uint64
 }
 
+// FloatPtr returns a pointer to v, for the Config fields where nil means
+// "use the default" and a pointer to zero means "explicitly zero".
+func FloatPtr(v float64) *float64 { return &v }
+
+// MemPtr returns a pointer to a copy of cfg for Config.Mem.
+func MemPtr(cfg memsys.Config) *memsys.Config { return &cfg }
+
 func (c Config) withDefaults() Config {
 	if c.DT <= 0 {
 		c.DT = 0.1
@@ -88,14 +103,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxTime <= 0 {
 		c.MaxTime = 3600
 	}
-	if c.Mem == (memsys.Config{}) {
-		c.Mem = memsys.DefaultConfig()
+	if c.Mem == nil {
+		c.Mem = MemPtr(memsys.DefaultConfig())
 	}
 	if c.MigrationGBs <= 0 {
 		c.MigrationGBs = 2.0
 	}
-	if c.LatQueueFactor == 0 {
-		c.LatQueueFactor = 0.35
+	if c.LatQueueFactor == nil {
+		c.LatQueueFactor = FloatPtr(0.35)
 	}
 	if c.LatSmoothing <= 0 || c.LatSmoothing > 1 {
 		c.LatSmoothing = 0.5
@@ -104,10 +119,14 @@ func (c Config) withDefaults() Config {
 		c.DemandFactor = 1.0
 	}
 	if c.StableAfter <= 0 {
-		c.StableAfter = 1.0
+		c.StableAfter = defaultStableAfter
 	}
 	return c
 }
+
+// defaultStableAfter is the default stable-phase delay; StableSince must
+// agree with withDefaults even when handed a raw Config.
+const defaultStableAfter = 1.0
 
 // App is one running application instance.
 type App struct {
@@ -127,14 +146,20 @@ type App struct {
 
 	placer      Placer
 	shared      *mm.Segment
-	priv        map[topology.NodeID]*mm.Segment
+	privSeg     []*mm.Segment // indexed like Workers; nil without private data
 	workerIndex map[topology.NodeID]int
+	// index is the app's position in the engine's app list; the tick loop
+	// uses it to attribute flows through flat slices instead of maps.
+	index int
 
 	start float64
 	// progressGB[i] tracks the work completed by the threads of Workers[i];
 	// the run finishes when the slowest worker completes its share — the
 	// "slowest worker dominates" semantic of the paper's Equation 3.
-	progressGB   []float64
+	progressGB []float64
+	// tickByWorker is per-tick achieved-bandwidth scratch, reused across
+	// ticks to keep the loop allocation-free.
+	tickByWorker []float64
 	workGB       float64
 	migBacklogGB float64
 	done         bool
@@ -150,7 +175,12 @@ type App struct {
 func (a *App) SharedSegment() *mm.Segment { return a.shared }
 
 // PrivateSegment returns the private segment owned by worker node w, or nil.
-func (a *App) PrivateSegment(w topology.NodeID) *mm.Segment { return a.priv[w] }
+func (a *App) PrivateSegment(w topology.NodeID) *mm.Segment {
+	if wi, ok := a.workerIndex[w]; ok && a.privSeg != nil {
+		return a.privSeg[wi]
+	}
+	return nil
+}
 
 // Segments returns all of the app's segments.
 func (a *App) Segments() []*mm.Segment { return a.AS.Segments() }
@@ -188,7 +218,13 @@ func (a *App) Placer() Placer { return a.placer }
 
 // StableSince returns the simulated time at which the app entered (or will
 // enter) its stable phase.
-func (a *App) StableSince(cfg Config) float64 { return a.start + cfg.withDefaults().StableAfter }
+func (a *App) StableSince(cfg Config) float64 {
+	sa := cfg.StableAfter
+	if sa <= 0 {
+		sa = defaultStableAfter
+	}
+	return a.start + sa
+}
 
 // Engine advances a set of co-scheduled applications through simulated time.
 type Engine struct {
@@ -202,6 +238,20 @@ type Engine struct {
 	ticks   int
 	latMult []float64
 	rng     *rngState
+
+	// Resolved configuration values, so the tick loop never chases Config
+	// pointers.
+	memCfg memsys.Config
+	latQF  float64
+
+	// Reusable tick-loop state: the solver carries all progressive-filling
+	// scratch, flows/metas are the per-tick flow set, and the per-app
+	// slices replace the attribution maps a naive loop would allocate.
+	solver       *memsys.Solver
+	flows        []memsys.Flow
+	metas        []flowMeta
+	tickAchieved []float64
+	tickRawRatio []float64
 }
 
 type rngState struct{ next uint64 }
@@ -213,12 +263,16 @@ func New(m *topology.Machine, cfg Config) *Engine {
 	for i := range lat {
 		lat[i] = 1
 	}
+	sys := memsys.New(m, *cfg.Mem)
 	return &Engine{
 		M:       m,
-		Sys:     memsys.New(m, cfg.Mem),
+		Sys:     sys,
 		Cfg:     cfg,
 		latMult: lat,
 		rng:     &rngState{next: cfg.Seed},
+		memCfg:  *cfg.Mem,
+		latQF:   *cfg.LatQueueFactor,
+		solver:  sys.NewSolver(),
 	}
 }
 
@@ -270,19 +324,20 @@ func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.Node
 		}
 	}
 	app := &App{
-		Name:        name,
-		Spec:        spec,
-		Workers:     append([]topology.NodeID(nil), workers...),
-		Threads:     sched.PinAllCores(e.M, workers),
-		AS:          mm.NewAddressSpace(e.M.NumNodes()),
-		Counters:    perf.NewCounters(e.M.NumNodes()),
-		Background:  spec.ComputeBound,
-		placer:      placer,
-		priv:        make(map[topology.NodeID]*mm.Segment),
-		workerIndex: make(map[topology.NodeID]int, len(workers)),
-		progressGB:  make([]float64, len(workers)),
-		workGB:      spec.WorkGB,
-		start:       e.now,
+		Name:         name,
+		Spec:         spec,
+		Workers:      append([]topology.NodeID(nil), workers...),
+		Threads:      sched.PinAllCores(e.M, workers),
+		AS:           mm.NewAddressSpace(e.M.NumNodes()),
+		Counters:     perf.NewCounters(e.M.NumNodes()),
+		Background:   spec.ComputeBound,
+		placer:       placer,
+		workerIndex:  make(map[topology.NodeID]int, len(workers)),
+		index:        len(e.apps),
+		progressGB:   make([]float64, len(workers)),
+		tickByWorker: make([]float64, len(workers)),
+		workGB:       spec.WorkGB,
+		start:        e.now,
 	}
 	for i, w := range app.Workers {
 		app.workerIndex[w] = i
@@ -291,8 +346,9 @@ func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.Node
 		app.shared = app.AS.AddSegment("shared", uint64(spec.SharedGB*float64(1<<30)), mm.SharedOwner)
 	}
 	if spec.PrivateGBPerNode > 0 {
-		for _, w := range workers {
-			app.priv[w] = app.AS.AddSegment(fmt.Sprintf("priv-n%d", w),
+		app.privSeg = make([]*mm.Segment, len(workers))
+		for i, w := range app.Workers {
+			app.privSeg[i] = app.AS.AddSegment(fmt.Sprintf("priv-n%d", w),
 				uint64(spec.PrivateGBPerNode*float64(1<<30)), w)
 		}
 	}
@@ -318,29 +374,10 @@ type Result struct {
 // Run places every app, then ticks until all foreground apps complete (or
 // MaxTime elapses). It may be called once per engine.
 func (e *Engine) Run() (*Result, error) {
-	foreground := 0
-	for _, a := range e.apps {
-		if !a.Background {
-			foreground++
-		}
+	if err := e.place(); err != nil {
+		return nil, err
 	}
-	if foreground == 0 {
-		return nil, fmt.Errorf("sim: no foreground applications")
-	}
-	for _, a := range e.apps {
-		if err := a.placer.Place(e, a); err != nil {
-			return nil, fmt.Errorf("sim: placing %s with %s: %w", a.Name, a.placer.Name(), err)
-		}
-		for _, seg := range a.AS.Segments() {
-			if seg.MappedPages() != seg.PageCount() {
-				return nil, fmt.Errorf("sim: %s: policy %s left %d/%d pages of %s unmapped",
-					a.Name, a.placer.Name(), seg.PageCount()-seg.MappedPages(), seg.PageCount(), seg.Name())
-			}
-		}
-		// The initial allocation-time placement is not a migration; the
-		// backlog starts clean.
-		a.AS.DrainMigratedBytes()
-	}
+	e.prepare()
 	for !e.allForegroundDone() {
 		if e.now >= e.Cfg.MaxTime {
 			return e.result(true), nil
@@ -348,6 +385,42 @@ func (e *Engine) Run() (*Result, error) {
 		e.tick()
 	}
 	return e.result(false), nil
+}
+
+// place runs every app's initial placement and validates full mapping.
+func (e *Engine) place() error {
+	foreground := 0
+	for _, a := range e.apps {
+		if !a.Background {
+			foreground++
+		}
+	}
+	if foreground == 0 {
+		return fmt.Errorf("sim: no foreground applications")
+	}
+	for _, a := range e.apps {
+		if err := a.placer.Place(e, a); err != nil {
+			return fmt.Errorf("sim: placing %s with %s: %w", a.Name, a.placer.Name(), err)
+		}
+		for _, seg := range a.AS.Segments() {
+			if seg.MappedPages() != seg.PageCount() {
+				return fmt.Errorf("sim: %s: policy %s left %d/%d pages of %s unmapped",
+					a.Name, a.placer.Name(), seg.PageCount()-seg.MappedPages(), seg.PageCount(), seg.Name())
+			}
+		}
+		// The initial allocation-time placement is not a migration; the
+		// backlog starts clean.
+		a.AS.DrainMigratedBytes()
+	}
+	return nil
+}
+
+// prepare sizes the per-app tick scratch once the app set is final.
+func (e *Engine) prepare() {
+	if len(e.tickAchieved) < len(e.apps) {
+		e.tickAchieved = make([]float64, len(e.apps))
+		e.tickRawRatio = make([]float64, len(e.apps))
+	}
 }
 
 func (e *Engine) allForegroundDone() bool {
@@ -381,20 +454,25 @@ func (e *Engine) result(timedOut bool) *Result {
 
 // flowMeta carries per-flow attribution through the solver.
 type flowMeta struct {
-	app      *App
-	private  bool
-	src, dst topology.NodeID
+	app     *App
+	wi      int // index into app.Workers of the flow's destination
+	private bool
+	src     topology.NodeID
+	dst     topology.NodeID
 	// rawRatio converts controller-equivalent rate back to raw bytes.
 	rawRatio float64
 	// readFrac splits raw bytes into reads vs writes.
 	readFrac float64
 }
 
-// tick advances the simulation by one DT.
+// tick advances the simulation by one DT. All intermediate state lives in
+// buffers reused across ticks: at steady state a tick performs no heap
+// allocation (pinned by TestTickAllocationFree).
 func (e *Engine) tick() {
+	e.prepare()
 	dt := e.Cfg.DT
-	var flows []memsys.Flow
-	var metas []flowMeta
+	flows := e.flows[:0]
+	metas := e.metas[:0]
 
 	for _, a := range e.apps {
 		if a.done {
@@ -423,7 +501,7 @@ func (e *Engine) tick() {
 		perThreadRead := a.Spec.PerThreadReadGBs() * e.Cfg.DemandFactor * phase
 		perThreadWrite := a.Spec.PerThreadWriteGBs() * e.Cfg.DemandFactor * phase
 		rawPerThread := perThreadRead + perThreadWrite
-		eqPerThread := e.Cfg.Mem.EquivalentDemand(perThreadRead, perThreadWrite)
+		eqPerThread := e.memCfg.EquivalentDemand(perThreadRead, perThreadWrite)
 		readFrac := 0.0
 		if rawPerThread > 0 {
 			readFrac = perThreadRead / rawPerThread
@@ -436,22 +514,25 @@ func (e *Engine) tick() {
 		for wi, w := range a.Workers {
 			threads := a.Threads[wi]
 			eqNode := eqPerThread * float64(threads)
-			classes := []struct {
-				private bool
-				frac    float64
-				seg     *mm.Segment
-			}{
-				{false, a.Spec.SharedFrac(), a.shared},
-				{true, a.Spec.PrivateFrac, a.priv[w]},
-			}
 			first := true
-			for _, cl := range classes {
-				if cl.frac <= 0 || cl.seg == nil {
+			for ci := 0; ci < 2; ci++ {
+				var private bool
+				var frac float64
+				var seg *mm.Segment
+				if ci == 0 {
+					private, frac, seg = false, a.Spec.SharedFrac(), a.shared
+				} else {
+					private, frac = true, a.Spec.PrivateFrac
+					if a.privSeg != nil {
+						seg = a.privSeg[wi]
+					}
+				}
+				if frac <= 0 || seg == nil {
 					continue
 				}
-				eqClass := eqNode * cl.frac
+				eqClass := eqNode * frac
 				a.lastDemand += eqClass
-				fr := cl.seg.Fractions()
+				fr := seg.Fractions()
 				throttle := e.throttle(a.Spec.LatencySensitivity*kappaFactor, fr, w)
 				for s, f := range fr {
 					if f <= 0 {
@@ -469,7 +550,7 @@ func (e *Engine) tick() {
 						Tag:     len(metas),
 					})
 					metas = append(metas, flowMeta{
-						app: a, private: cl.private,
+						app: a, wi: wi, private: private,
 						src: topology.NodeID(s), dst: w,
 						rawRatio: rawRatio, readFrac: readFrac,
 					})
@@ -478,26 +559,28 @@ func (e *Engine) tick() {
 			}
 		}
 	}
+	e.flows, e.metas = flows, metas
 
-	res := e.Sys.Solve(flows)
+	res := e.solver.Solve(flows)
 
 	// Attribute achieved rates, per app and per worker node. Progress is
 	// accounted in raw bytes (reads+writes), so write-heavy workloads pay
 	// the controller's write penalty in completion time.
-	achieved := make(map[*App]float64)
-	achievedByWorker := make(map[*App][]float64)
-	rawRatioOf := make(map[*App]float64)
-	for i, f := range flows {
-		meta := metas[f.Tag]
-		rate := res.Rates[i]
-		achieved[meta.app] += rate
-		byWorker := achievedByWorker[meta.app]
-		if byWorker == nil {
-			byWorker = make([]float64, len(meta.app.Workers))
-			achievedByWorker[meta.app] = byWorker
+	achieved := e.tickAchieved
+	rawRatioOf := e.tickRawRatio
+	for _, a := range e.apps {
+		achieved[a.index] = 0
+		rawRatioOf[a.index] = 0
+		for wi := range a.tickByWorker {
+			a.tickByWorker[wi] = 0
 		}
-		byWorker[meta.app.workerIndex[meta.dst]] += rate
-		rawRatioOf[meta.app] = meta.rawRatio
+	}
+	for i := range flows {
+		meta := &metas[i]
+		rate := res.Rates[i]
+		achieved[meta.app.index] += rate
+		meta.app.tickByWorker[meta.wi] += rate
+		rawRatioOf[meta.app.index] = meta.rawRatio
 		bytes := rate * 1e9 * dt
 		c := meta.app.Counters
 		c.NodeOutBytes[meta.src] += bytes
@@ -516,7 +599,7 @@ func (e *Engine) tick() {
 		if a.done {
 			continue
 		}
-		ach := achieved[a]
+		ach := achieved[a.index]
 		// Page migration steals bandwidth from the app (bounded so the app
 		// always keeps making some progress, as the kernel's rate-limited
 		// migration does).
@@ -552,10 +635,7 @@ func (e *Engine) tick() {
 			lastFraction := 0.0
 			for wi := range a.Workers {
 				before := a.progressGB[wi]
-				delta := 0.0
-				if byWorker := achievedByWorker[a]; byWorker != nil {
-					delta = byWorker[wi] * rawRatioOf[a] * scale * eta * dt
-				}
+				delta := a.tickByWorker[wi] * rawRatioOf[a.index] * scale * eta * dt
 				a.progressGB[wi] = before + delta
 				if a.progressGB[wi] < share {
 					allDone = false
@@ -583,7 +663,7 @@ func (e *Engine) tick() {
 	sm := e.Cfg.LatSmoothing
 	for i, u := range res.ControllerUtil {
 		u = stats.Clamp(u, 0, 1)
-		target := 1 + e.Cfg.LatQueueFactor*u*u/(1.02-u)
+		target := 1 + e.latQF*u*u/(1.02-u)
 		e.latMult[i] = (1-sm)*e.latMult[i] + sm*target
 	}
 

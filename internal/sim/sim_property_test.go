@@ -193,7 +193,7 @@ func TestInitPhaseDemandApplied(t *testing.T) {
 func TestEngineMemConfigRespected(t *testing.T) {
 	m := topology.MachineB()
 	run := func(penalty float64) float64 {
-		cfg := sim.Config{Mem: memsys.Config{StreamPenalty: 0.035, EfficiencyFloor: 0.7, WritePenalty: penalty}}
+		cfg := sim.Config{Mem: sim.MemPtr(memsys.Config{StreamPenalty: 0.035, EfficiencyFloor: 0.7, WritePenalty: penalty})}
 		e := sim.New(m, cfg)
 		if _, err := e.AddApp("p", smallSpec(15, 15, 0, 0, 100), []topology.NodeID{0}, testPlacer{"local"}); err != nil {
 			t.Fatal(err)
