@@ -7,6 +7,7 @@ package bwap_test
 import (
 	"testing"
 
+	"bwap"
 	"bwap/internal/core"
 	"bwap/internal/experiments"
 	"bwap/internal/mm"
@@ -209,4 +210,42 @@ func BenchmarkDynamicReTuning(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetThroughput measures the fleet scheduler's job-stream rate:
+// jobs scheduled (admitted, run, completed and retuned) per wall second on
+// a warm tuning cache. The stream repeats one workload class, so after the
+// first iteration every admission is a cache hit — the steady state of a
+// long-running bwapd.
+func BenchmarkFleetThroughput(b *testing.B) {
+	cache := bwap.NewTuningCache(bwap.Config{Seed: 1}, 0, 1)
+	const jobs = 12
+	stream := []bwap.StreamSpec{{
+		Workload: bwap.Streamcluster(),
+		Arrival:  bwap.ArrivalSpec{Process: "poisson", Rate: 0.4, Count: jobs},
+		Workers:  2, WorkScale: 0.02,
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := bwap.NewFleet(bwap.FleetConfig{
+			Machines: 2,
+			SimCfg:   bwap.Config{Seed: 1},
+			Seed:     1,
+			Cache:    cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.SubmitStream(stream); err != nil {
+			b.Fatal(err)
+		}
+		stats, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Completed != jobs {
+			b.Fatalf("completed %d/%d", stats.Completed, jobs)
+		}
+	}
+	b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }

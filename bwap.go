@@ -28,6 +28,7 @@ package bwap
 
 import (
 	"bwap/internal/core"
+	"bwap/internal/fleet"
 	"bwap/internal/memsys"
 	"bwap/internal/mm"
 	"bwap/internal/policy"
@@ -246,6 +247,55 @@ func RunCoScheduled(m *Machine, cfg Config, hi, best Spec, workers []NodeID, pla
 	}
 	return e.Run()
 }
+
+// Fleet is the discrete-event job-stream scheduler over a set of simulated
+// NUMA machines — the service layer above single-run engines. See
+// internal/fleet and the DESIGN.md fleet section.
+type Fleet = fleet.Fleet
+
+// FleetConfig parameterizes a fleet (machines, policy, seed, cache).
+type FleetConfig = fleet.Config
+
+// FleetJob is one scheduled unit of a fleet's job stream.
+type FleetJob = fleet.Job
+
+// FleetStats summarizes a fleet's throughput, latency, utilization and
+// tuning-cache economics.
+type FleetStats = fleet.Stats
+
+// FleetRecord is one line of the fleet's replayable JSONL event log.
+type FleetRecord = fleet.Record
+
+// FleetServer serves a fleet over HTTP (the bwapd daemon).
+type FleetServer = fleet.Server
+
+// StreamSpec is one workload class of a fleet job stream: a spec plus an
+// arrival process.
+type StreamSpec = fleet.StreamSpec
+
+// ArrivalSpec describes a deterministic arrival process (periodic or
+// Poisson) for a job stream.
+type ArrivalSpec = workload.ArrivalSpec
+
+// TuningCache memoizes BWAP placement decisions across jobs, keyed by
+// (topology fingerprint × workload signature × worker count × co-runner
+// count), with single-flight probing.
+type TuningCache = fleet.TuningCache
+
+// NewFleet builds a fleet of simulated NUMA machines serving a job stream.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// NewFleetServer wraps a fleet in the bwapd HTTP API.
+func NewFleetServer(f *Fleet) *FleetServer { return fleet.NewServer(f) }
+
+// NewTuningCache returns a tuning cache shareable across fleets and
+// daemons.
+func NewTuningCache(simCfg Config, probeScale float64, seed uint64) *TuningCache {
+	return fleet.NewTuningCache(simCfg, probeScale, seed)
+}
+
+// DecodeFleetLog parses a fleet's JSONL event log for replay verification.
+func DecodeFleetLog(data []byte) ([]FleetRecord, error) { return fleet.DecodeLog(data) }
 
 type coRunnerError string
 

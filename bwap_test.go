@@ -243,3 +243,41 @@ func Example() {
 	// Output:
 	// workers [0 1] get the largest canonical weights: 0.26 0.26
 }
+
+func TestPublicFleetQuickstart(t *testing.T) {
+	cache := bwap.NewTuningCache(bwap.Config{Seed: 5}, 0, 5)
+	f, err := bwap.NewFleet(bwap.FleetConfig{
+		Machines: 2,
+		SimCfg:   bwap.Config{Seed: 5},
+		Seed:     5,
+		Cache:    cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.SubmitStream([]bwap.StreamSpec{{
+		Workload: bwap.Streamcluster(),
+		Arrival:  bwap.ArrivalSpec{Process: "periodic", Rate: 0.1, Count: 3},
+		Workers:  2, WorkScale: 0.02,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 3 {
+		t.Fatalf("completed %d/3", stats.Completed)
+	}
+	if stats.CacheMisses == 0 || stats.CacheHits == 0 {
+		t.Fatalf("cache accounting hits=%d misses=%d", stats.CacheHits, stats.CacheMisses)
+	}
+	recs, err := bwap.DecodeFleetLog(f.LogBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty fleet event log")
+	}
+}

@@ -1,0 +1,94 @@
+// bwapd serves a simulated fleet of NUMA machines over HTTP: jobs are
+// submitted as workload specs, admitted onto the machine with the most free
+// nodes, placed by the selected policy (BWAP placements come from the
+// single-flight tuning cache, so repeat jobs skip re-profiling), and
+// advanced through simulated time by a background clock decoupled from wall
+// time. See the fleet section of DESIGN.md for the event model and the
+// replayable JSONL log format.
+//
+// Usage:
+//
+//	bwapd                                   # 2× Machine B fleet on :8080
+//	bwapd -machines 8 -machine A -policy bwap -sim-rate 500
+//	bwapd -log fleet-events.jsonl           # mirror the event log to disk
+//
+// Endpoints:
+//
+//	POST /submit   {"workload":"SC","workers":2,"work_scale":0.05,"count":3}
+//	GET  /status?id=1
+//	GET  /jobs
+//	GET  /fleet
+//	GET  /log
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"bwap/internal/fleet"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	machines := flag.Int("machines", 2, "fleet size")
+	machine := flag.String("machine", "B", "machine model: A (8-node Opteron), B (4-node Xeon)")
+	policy := flag.String("policy", fleet.PolicyBWAP, "placement policy: bwap, first-touch, uniform-all, uniform-workers")
+	seed := flag.Uint64("seed", 1, "deterministic seed for engines, probes and arrival noise")
+	simRate := flag.Float64("sim-rate", 100, "simulated seconds advanced per wall second")
+	probeScale := flag.Float64("probe-scale", fleet.DefaultProbeWorkScale, "tuning-probe work fraction")
+	retune := flag.Float64("retune-delay", 0.5, "simulated seconds after churn before co-located jobs are re-tuned (negative disables)")
+	logPath := flag.String("log", "", "mirror the JSONL event log to this file")
+	flag.Parse()
+
+	var newMachine func(int) *topology.Machine
+	switch *machine {
+	case "A", "a":
+		newMachine = func(int) *topology.Machine { return topology.MachineA() }
+	case "B", "b":
+		newMachine = func(int) *topology.Machine { return topology.MachineB() }
+	default:
+		fmt.Fprintf(os.Stderr, "bwapd: unknown machine model %q\n", *machine)
+		os.Exit(2)
+	}
+
+	cfg := fleet.Config{
+		Machines:       *machines,
+		NewMachine:     newMachine,
+		SimCfg:         sim.Config{Seed: *seed},
+		Policy:         *policy,
+		RetuneDelay:    *retune,
+		Seed:           *seed,
+		ProbeWorkScale: *probeScale,
+	}
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.LogW = f
+	}
+
+	fl, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := fleet.NewServer(fl)
+	srv.SimRate = *simRate
+	srv.Start()
+	defer srv.Stop()
+
+	fmt.Printf("bwapd: %d× machine %s fleet, policy %s, listening on %s\n",
+		*machines, *machine, *policy, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Package cache provides a keyed single-flight result cache: each key's
+// value is computed exactly once, concurrent first users of the same key
+// share one computation, and distinct keys compute in parallel.
+//
+// The pattern originated as the canonical tuner's per-worker-set profiling
+// cache (core package); the fleet scheduler's tuning cache needs the same
+// semantics with a different value type, so it lives here as a generic.
+// Both errors and values are cached: a failed computation is not retried,
+// which keeps replay deterministic (the first outcome is the outcome).
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a keyed single-flight cache. The zero value is not usable; call
+// New. It is safe for concurrent use.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// New returns an empty cache.
+func New[V any]() *Cache[V] {
+	return &Cache[V]{entries: make(map[string]*entry[V])}
+}
+
+// Get returns the value for key, running compute exactly once per key. The
+// caller that creates the entry counts as a miss; every other caller —
+// including those that block on an in-flight computation — counts as a hit.
+// The returned hit flag reports which side this call was on.
+func (c *Cache[V]) Get(key string, compute func() (V, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	en, ok := c.entries[key]
+	if !ok {
+		en = &entry[V]{}
+		c.entries[key] = en
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	en.once.Do(func() { en.val, en.err = compute() })
+	return en.val, ok, en.err
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of keys present (computed or in flight).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

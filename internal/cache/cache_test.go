@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetComputesOncePerKey(t *testing.T) {
+	c := New[int]()
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, hit, err := c.Get("k", func() (int, error) { calls++; return 42, nil })
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if v != 42 {
+			t.Fatalf("Get = %d, want 42", v)
+		}
+		if wantHit := i > 0; hit != wantHit {
+			t.Fatalf("call %d: hit = %v, want %v", i, hit, wantHit)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if hits, misses := c.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("Stats = %d/%d, want 2 hits / 1 miss", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	c := New[int]()
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, _, err := c.Get("bad", func() (int, error) { calls++; return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("Get err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failed compute ran %d times, want 1 (errors are cached)", calls)
+	}
+}
+
+func TestDistinctKeysComputeIndependently(t *testing.T) {
+	c := New[string]()
+	for _, k := range []string{"a", "b", "c"} {
+		k := k
+		v, hit, err := c.Get(k, func() (string, error) { return "v-" + k, nil })
+		if err != nil || hit || v != "v-"+k {
+			t.Fatalf("Get(%q) = %q hit=%v err=%v", k, v, hit, err)
+		}
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 3 {
+		t.Fatalf("Stats = %d/%d, want 0/3", hits, misses)
+	}
+}
+
+// TestSingleFlight hammers one key from many goroutines: the computation
+// must run exactly once, every caller must observe its value, and exactly
+// one caller is the miss.
+func TestSingleFlight(t *testing.T) {
+	c := New[int]()
+	var calls, missCount atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	const goroutines = 32
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, hit, err := c.Get("shared", func() (int, error) {
+				calls.Add(1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+			if !hit {
+				missCount.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	if missCount.Load() != 1 {
+		t.Fatalf("%d callers saw a miss, want exactly 1", missCount.Load())
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Fatalf("Stats = %d hits / %d misses, want %d/1", hits, misses, goroutines-1)
+	}
+}

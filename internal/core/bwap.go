@@ -118,7 +118,9 @@ func (b *BWAP) Place(e *sim.Engine, app *sim.App) error {
 		}
 		tuner = dt
 	}
-	e.AddHook(tuner)
+	// Register as an app-owned hook so a fleet engine that removes the app
+	// on departure drops the tuner with it.
+	e.AddAppHook(app, tuner)
 
 	b.mu.Lock()
 	if b.tuners == nil {

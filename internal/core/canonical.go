@@ -18,8 +18,8 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
+	"bwap/internal/cache"
 	"bwap/internal/numaapi"
 	"bwap/internal/sim"
 	"bwap/internal/stats"
@@ -45,18 +45,16 @@ type CanonicalTuner struct {
 	// (default 3 s).
 	ProfileSeconds float64
 
-	mu      sync.Mutex
-	entries map[string]*canonicalEntry
+	// entries caches one profiling result per worker-set key with
+	// single-flight semantics: concurrent first users of the same key share
+	// a run, while distinct keys profile in parallel.
+	entries *cache.Cache[canonicalResult]
 }
 
-// canonicalEntry is one worker set's profiling result, computed exactly
-// once: concurrent first users of the same key share a run, while
-// distinct keys profile in parallel.
-type canonicalEntry struct {
-	once    sync.Once
+// canonicalResult is one worker set's profiling outcome.
+type canonicalResult struct {
 	matrix  [][]float64
 	weights []float64
-	err     error
 }
 
 // NewCanonicalTuner returns a tuner for the machine. The simulation
@@ -67,7 +65,7 @@ func NewCanonicalTuner(m *topology.Machine, cfg sim.Config) *CanonicalTuner {
 		m:              m,
 		SimCfg:         cfg,
 		ProfileSeconds: 3,
-		entries:        make(map[string]*canonicalEntry),
+		entries:        cache.New[canonicalResult](),
 	}
 }
 
@@ -92,23 +90,16 @@ func (uniformAllPlacer) Place(e *sim.Engine, a *sim.App) error {
 }
 
 // entry returns the worker set's profiling result, computing it at most
-// once. The map lock is held only for entry lookup; the profiling run
-// itself executes under the entry's once, so concurrent first users of
-// the same key share one run while distinct keys profile in parallel.
-func (ct *CanonicalTuner) entry(workers []topology.NodeID) *canonicalEntry {
+// once via the single-flight cache.
+func (ct *CanonicalTuner) entry(workers []topology.NodeID) (canonicalResult, error) {
 	key := workerKey(workers)
-	ct.mu.Lock()
-	en, ok := ct.entries[key]
-	if !ok {
-		en = &canonicalEntry{}
-		ct.entries[key] = en
-	}
-	ct.mu.Unlock()
-	en.once.Do(func() { en.compute(ct, key, workers) })
-	return en
+	res, _, err := ct.entries.Get(key, func() (canonicalResult, error) {
+		return ct.compute(key, workers)
+	})
+	return res, err
 }
 
-func (en *canonicalEntry) compute(ct *CanonicalTuner, key string, workers []topology.NodeID) {
+func (ct *CanonicalTuner) compute(key string, workers []topology.NodeID) (canonicalResult, error) {
 	cfg := ct.SimCfg
 	secs := ct.ProfileSeconds
 	if secs <= 0 {
@@ -118,23 +109,29 @@ func (en *canonicalEntry) compute(ct *CanonicalTuner, key string, workers []topo
 	e := sim.New(ct.m, cfg)
 	app, err := e.AddApp("canonical-probe", ProbeSpec(), workers, uniformAllPlacer{})
 	if err != nil {
-		en.err = fmt.Errorf("core: profiling %s: %w", key, err)
-		return
+		return canonicalResult{}, fmt.Errorf("core: profiling %s: %w", key, err)
 	}
 	if _, err := e.Run(); err != nil {
-		en.err = fmt.Errorf("core: profiling %s: %w", key, err)
-		return
+		return canonicalResult{}, fmt.Errorf("core: profiling %s: %w", key, err)
 	}
-	en.matrix = app.Counters.BWMatrixGBs()
-	en.weights = WeightsFromMinBW(MinBW(en.matrix, workers))
+	matrix := app.Counters.BWMatrixGBs()
+	return canonicalResult{
+		matrix:  matrix,
+		weights: WeightsFromMinBW(MinBW(matrix, workers)),
+	}, nil
 }
 
 // Profile runs the profiling benchmark for the worker set and returns the
 // measured bw(src→dst) matrix in GB/s (only worker destinations carry
 // meaning). Results are cached per worker set.
 func (ct *CanonicalTuner) Profile(workers []topology.NodeID) ([][]float64, error) {
-	en := ct.entry(workers)
-	return en.matrix, en.err
+	res, err := ct.entry(workers)
+	return res.matrix, err
+}
+
+// CacheStats reports the profiling cache's cumulative hit and miss counts.
+func (ct *CanonicalTuner) CacheStats() (hits, misses int64) {
+	return ct.entries.Stats()
 }
 
 // MinBW reduces a profiled matrix to per-source minimum bandwidths over the
@@ -170,8 +167,8 @@ func (ct *CanonicalTuner) Weights(workers []topology.NodeID) ([]float64, error) 
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("core: empty worker set")
 	}
-	en := ct.entry(workers)
-	return en.weights, en.err
+	res, err := ct.entry(workers)
+	return res.weights, err
 }
 
 // Precompute profiles every worker set in the list — the installation-time

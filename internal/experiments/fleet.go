@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bwap/internal/fleet"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// The fleet-utilization scenario scales the paper's question up one layer:
+// not "how should one mix of co-scheduled applications place its pages",
+// but "how much throughput does bandwidth-aware placement buy a *fleet*
+// serving a stream of arriving and departing jobs". Each admission policy
+// runs the identical job stream (same seed, same arrival times) over the
+// same machines; only page placement differs. BWAP admissions consult the
+// single-flight tuning cache, so the stream also demonstrates the
+// repeat-job economics: the cache probes once per (workload, context) and
+// every later admission is a hit.
+
+// FleetPolicies is the fixed comparison order.
+var FleetPolicies = []string{fleet.PolicyFirstTouch, fleet.PolicyUniformAll, fleet.PolicyBWAP}
+
+// FleetResult is one policy's outcome on the shared stream.
+type FleetResult struct {
+	Policy string
+	Stats  *fleet.Stats
+}
+
+// FleetTable is the rendered scenario.
+type FleetTable struct {
+	Title    string
+	Machines int
+	Jobs     int
+	Results  []FleetResult
+}
+
+// fleetStream is the shared workload mix: a latency-exposed shared-heavy
+// stream (SC), a scalable private-heavy one (OC) and a write-heavy one
+// (FT.C), arriving as independent Poisson processes.
+func fleetStream(jobsPerClass int, workScale float64) []fleet.StreamSpec {
+	return []fleet.StreamSpec{
+		{
+			Workload: workload.Streamcluster,
+			Arrival:  workload.ArrivalSpec{Process: workload.Poisson, Rate: 0.12, Count: jobsPerClass},
+			Workers:  2, WorkScale: workScale,
+		},
+		{
+			Workload: workload.OceanCP,
+			Arrival:  workload.ArrivalSpec{Process: workload.Poisson, Rate: 0.09, Start: 3, Count: jobsPerClass},
+			Workers:  2, WorkScale: workScale,
+		},
+		{
+			Workload: workload.FTC,
+			Arrival:  workload.ArrivalSpec{Process: workload.Poisson, Rate: 0.09, Start: 7, Count: jobsPerClass},
+			Workers:  1, WorkScale: workScale,
+		},
+	}
+}
+
+// RunFleet executes the fleet-utilization comparison: the same Poisson job
+// stream over a fleet of Machine B boxes under each admission/placement
+// policy. quick shrinks the stream for tests and CI.
+func RunFleet(quick bool) (*FleetTable, error) {
+	machines := 4
+	jobsPerClass := 6
+	workScale := 0.05
+	if quick {
+		machines = 2
+		jobsPerClass = 2
+		workScale = 0.03
+	}
+	streams := fleetStream(jobsPerClass, workScale)
+
+	table := &FleetTable{
+		Title:    "Fleet utilization: admission + placement policies on a shared job stream",
+		Machines: machines,
+		Jobs:     jobsPerClass * len(streams),
+		Results:  make([]FleetResult, len(FleetPolicies)),
+	}
+	err := parallelFor(len(FleetPolicies), func(i int) error {
+		f, err := fleet.New(fleet.Config{
+			Machines:   machines,
+			NewMachine: func(int) *topology.Machine { return topology.MachineB() },
+			SimCfg:     sim.Config{Seed: 1},
+			Policy:     FleetPolicies[i],
+			Seed:       1,
+		})
+		if err != nil {
+			return err
+		}
+		if err := f.SubmitStream(streams); err != nil {
+			return err
+		}
+		stats, err := f.Run()
+		if err != nil {
+			return fmt.Errorf("fleet policy %s: %w", FleetPolicies[i], err)
+		}
+		table.Results[i] = FleetResult{Policy: FleetPolicies[i], Stats: stats}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// Render formats the comparison.
+func (t *FleetTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%d machines (Machine B), %d jobs\n\n", t.Machines, t.Jobs)
+	fmt.Fprintf(&b, "  %-16s %12s %12s %12s %10s %7s %7s\n",
+		"policy", "turnaround", "runtime", "wait", "jobs/100s", "util", "cache")
+	for _, r := range t.Results {
+		s := r.Stats
+		fmt.Fprintf(&b, "  %-16s %11.1fs %11.1fs %11.1fs %10.2f %6.1f%% %4d/%d\n",
+			r.Policy, s.MeanTurnaround, s.MeanRuntime, s.MeanWait,
+			100*s.ThroughputJobsPerSec, 100*s.Utilization, s.CacheHits, s.CacheMisses)
+	}
+	return b.String()
+}

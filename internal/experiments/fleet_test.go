@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bwap/internal/fleet"
+)
+
+// TestRunFleetComparison runs the quick fleet scenario and checks the
+// shape results the scenario exists to show: every policy drains the same
+// stream, and bandwidth-aware placement does not lose to first-touch on
+// mean turnaround (first-touch centralizes shared pages on one controller,
+// which is exactly the pathology BWAP spreads away).
+func TestRunFleetComparison(t *testing.T) {
+	table, err := RunFleet(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Results) != len(FleetPolicies) {
+		t.Fatalf("%d results, want %d", len(table.Results), len(FleetPolicies))
+	}
+	byPolicy := map[string]*fleet.Stats{}
+	for _, r := range table.Results {
+		if r.Stats == nil {
+			t.Fatalf("policy %s has no stats", r.Policy)
+		}
+		if r.Stats.Completed != table.Jobs {
+			t.Fatalf("policy %s completed %d/%d jobs", r.Policy, r.Stats.Completed, table.Jobs)
+		}
+		byPolicy[r.Policy] = r.Stats
+	}
+	ft, bw := byPolicy[fleet.PolicyFirstTouch], byPolicy[fleet.PolicyBWAP]
+	if bw.MeanTurnaround > ft.MeanTurnaround*1.02 {
+		t.Fatalf("bwap turnaround %.2fs worse than first-touch %.2fs",
+			bw.MeanTurnaround, ft.MeanTurnaround)
+	}
+	// The stream repeats workload classes, so the cache must be hitting.
+	if bw.CacheHits == 0 || bw.CacheMisses == 0 {
+		t.Fatalf("bwap cache accounting hits=%d misses=%d, want both positive",
+			bw.CacheHits, bw.CacheMisses)
+	}
+	out := table.Render()
+	for _, p := range FleetPolicies {
+		if !strings.Contains(out, p) {
+			t.Fatalf("rendered table misses policy %s:\n%s", p, out)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package fleet
+
+// The fleet scheduler is a deterministic discrete-event loop. Three event
+// kinds exist; their ordering at equal timestamps is part of the replay
+// contract (DESIGN.md):
+//
+//	completion < arrival < retune
+//
+// Completions sort first so a departing job frees its nodes before an
+// arrival at the same instant asks for capacity; retunes sort last so they
+// see the post-churn job set. Ties within a kind break on the event's push
+// sequence number, which is itself deterministic because every push happens
+// at a deterministic point of the loop.
+
+type eventKind int
+
+const (
+	evComplete eventKind = iota
+	evArrive
+	evRetune
+)
+
+func (k eventKind) String() string {
+	switch k {
+	case evComplete:
+		return "complete"
+	case evArrive:
+		return "arrive"
+	case evRetune:
+		return "retune"
+	}
+	return "unknown"
+}
+
+// event is one scheduled occurrence.
+type event struct {
+	t    float64
+	kind eventKind
+	seq  int  // monotonic push counter; final tie-break
+	job  *Job // arrivals and completions
+	mach int  // completions and retunes; -1 otherwise
+}
+
+// eventHeap is a min-heap ordered by (t, kind, seq), used via
+// container/heap.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

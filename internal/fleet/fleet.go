@@ -1,0 +1,688 @@
+// Package fleet is the service layer above the single-run BWAP engine: a
+// deterministic discrete-event scheduler that drives a *stream* of jobs —
+// workload specs with arrival processes and durations — across a fleet of
+// simulated NUMA machines.
+//
+// Each machine is one sim.Engine advanced in lockstep with the others
+// (identical tick length), so co-located jobs contend exactly as they do
+// in the single-run experiments. The scheduler pops events off a min-heap
+// ordered by (timestamp, event kind, push sequence); between events it
+// advances every engine tick by tick, stopping the instant any job
+// completes so the completion becomes an event of its own. Admission picks
+// the machine with the most free NUMA nodes; jobs that do not fit wait in
+// an arrival-ordered queue and are backfilled as capacity frees up. Under
+// the bwap policy, placement consults the TuningCache — repeated jobs skip
+// re-profiling — and churn (an arrival or departure on a machine)
+// schedules a coalesced retune event that re-places the survivors for
+// their new co-runner count.
+//
+// Every decision is appended to a JSONL event log; the same configuration,
+// seed and job stream reproduce the log bit for bit.
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math"
+
+	"bwap/internal/core"
+	"bwap/internal/policy"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// Placement policy names accepted by Config.Policy.
+const (
+	PolicyBWAP           = "bwap"
+	PolicyFirstTouch     = "first-touch"
+	PolicyUniformAll     = "uniform-all"
+	PolicyUniformWorkers = "uniform-workers"
+)
+
+// Config parameterizes a fleet. The zero value is completed by defaults.
+type Config struct {
+	// Machines is the fleet size (default 2).
+	Machines int
+	// NewMachine builds machine i's topology (default: the paper's
+	// Machine B for every i). Machines sharing a topology structure share
+	// canonical profiling and tuning-cache entries via the fingerprint.
+	NewMachine func(i int) *topology.Machine
+	// SimCfg configures every machine's engine. All machines tick with the
+	// same DT; per-machine noise streams are decorrelated by deriving each
+	// engine's seed from Seed and the machine index.
+	SimCfg sim.Config
+	// Policy selects the placement policy for admitted jobs (default
+	// PolicyBWAP).
+	Policy string
+	// RetuneDelay is how long after churn the coalesced retune fires, in
+	// simulated seconds (default 0.5). Zero keeps the default; negative
+	// disables retuning.
+	RetuneDelay float64
+	// MaxSimTime aborts a drain that never completes (default 1e6 s).
+	MaxSimTime float64
+	// Seed derives the arrival streams, engine seeds and probe seeds.
+	Seed uint64
+	// ProbeWorkScale scales tuning-probe work volumes (default
+	// DefaultProbeWorkScale); only used when Cache is nil.
+	ProbeWorkScale float64
+	// Cache optionally shares a TuningCache across fleets (and with a
+	// daemon); nil builds a private one from SimCfg/ProbeWorkScale/Seed.
+	Cache *TuningCache
+	// LogW optionally mirrors every event-log line as it is written.
+	LogW io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 2
+	}
+	if c.NewMachine == nil {
+		c.NewMachine = func(int) *topology.Machine { return topology.MachineB() }
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyBWAP
+	}
+	if c.RetuneDelay == 0 {
+		c.RetuneDelay = 0.5
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = 1e6
+	}
+	return c
+}
+
+// JobState is a job's lifecycle position.
+type JobState int
+
+const (
+	// JobPending means the arrival event is scheduled but has not fired.
+	JobPending JobState = iota
+	// JobQueued means the job arrived but no machine had capacity.
+	JobQueued
+	// JobRunning means the job is placed and executing.
+	JobRunning
+	// JobDone means the job completed.
+	JobDone
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Job is one unit of the stream: a workload spec, a worker-node demand and
+// a work volume, admitted onto some machine at some time.
+type Job struct {
+	// ID is the 1-based admission-stream identifier.
+	ID int
+	// Spec is the unscaled workload; the tuning cache keys on its
+	// Signature.
+	Spec workload.Spec
+	// Workers is the number of NUMA nodes the job asks for.
+	Workers int
+	// WorkScale scales Spec.WorkGB for this instance (1 = full volume).
+	WorkScale float64
+	// Arrival is the submission time in simulated seconds.
+	Arrival float64
+
+	// State, Machine, Nodes, Admit and Finish are maintained by the
+	// scheduler. Machine is -1 until admission.
+	State   JobState
+	Machine int
+	Nodes   []topology.NodeID
+	Admit   float64
+	Finish  float64
+	// CacheHit reports whether admission placement came from the tuning
+	// cache (bwap policy only).
+	CacheHit bool
+
+	app  *sim.App
+	seen bool // completion already turned into an event
+}
+
+// machine is one fleet member: a topology, its engine, and allocation
+// state.
+type machine struct {
+	id            int
+	topo          *topology.Machine
+	eng           *sim.Engine
+	free          []bool
+	freeCount     int
+	active        []*Job // admission order
+	retunePending bool
+}
+
+func (m *machine) allocate(k int) []topology.NodeID {
+	nodes := make([]topology.NodeID, 0, k)
+	for i := range m.free {
+		if m.free[i] {
+			nodes = append(nodes, topology.NodeID(i))
+			m.free[i] = false
+			m.freeCount--
+			if len(nodes) == k {
+				break
+			}
+		}
+	}
+	return nodes
+}
+
+func (m *machine) release(nodes []topology.NodeID) {
+	for _, n := range nodes {
+		if !m.free[n] {
+			m.free[n] = true
+			m.freeCount++
+		}
+	}
+}
+
+// Fleet schedules a job stream over a set of simulated machines. It is not
+// safe for concurrent use; the HTTP server serializes access.
+type Fleet struct {
+	cfg      Config
+	dt       float64
+	machines []*machine
+	cache    *TuningCache
+
+	jobs    []*Job // by ID-1
+	queue   []*Job // arrived, waiting for capacity
+	running int
+
+	events   eventHeap
+	eventSeq int
+	now      float64
+
+	log             eventLog
+	cacheHits       int64
+	cacheMisses     int64
+	busyNodeSeconds float64
+	totalNodes      int
+}
+
+// New builds a fleet.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Policy {
+	case PolicyBWAP, PolicyFirstTouch, PolicyUniformAll, PolicyUniformWorkers:
+	default:
+		return nil, fmt.Errorf("fleet: unknown policy %q", cfg.Policy)
+	}
+	dt := cfg.SimCfg.DT
+	if dt <= 0 {
+		dt = 0.1
+	}
+	f := &Fleet{cfg: cfg, dt: dt, cache: cfg.Cache}
+	if f.cache == nil {
+		f.cache = NewTuningCache(cfg.SimCfg, cfg.ProbeWorkScale, cfg.Seed)
+	}
+	f.log.w = cfg.LogW
+	for i := 0; i < cfg.Machines; i++ {
+		topo := cfg.NewMachine(i)
+		if topo == nil {
+			return nil, fmt.Errorf("fleet: NewMachine(%d) returned nil", i)
+		}
+		if err := topo.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: machine %d: %w", i, err)
+		}
+		simCfg := cfg.SimCfg
+		// The fleet's event loop bounds time, not the per-engine MaxTime.
+		simCfg.MaxTime = math.Inf(1)
+		simCfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		m := &machine{
+			id:        i,
+			topo:      topo,
+			eng:       sim.New(topo, simCfg),
+			free:      make([]bool, topo.NumNodes()),
+			freeCount: topo.NumNodes(),
+		}
+		for j := range m.free {
+			m.free[j] = true
+		}
+		f.machines = append(f.machines, m)
+		f.totalNodes += topo.NumNodes()
+	}
+	return f, nil
+}
+
+// Now returns the fleet's simulated time.
+func (f *Fleet) Now() float64 { return f.now }
+
+// Jobs returns every submitted job, by ID order.
+func (f *Fleet) Jobs() []*Job { return f.jobs }
+
+// Job returns the job with the given 1-based ID, or nil.
+func (f *Fleet) Job(id int) *Job {
+	if id < 1 || id > len(f.jobs) {
+		return nil
+	}
+	return f.jobs[id-1]
+}
+
+// Cache returns the fleet's tuning cache.
+func (f *Fleet) Cache() *TuningCache { return f.cache }
+
+// LogBytes returns the JSONL event log accumulated so far.
+func (f *Fleet) LogBytes() []byte { return f.log.buf.Bytes() }
+
+// push schedules an event.
+func (f *Fleet) push(t float64, kind eventKind, job *Job, mach int) {
+	f.eventSeq++
+	heap.Push(&f.events, &event{t: t, kind: kind, seq: f.eventSeq, job: job, mach: mach})
+}
+
+// Submit schedules one job arrival at time at (>= Now). Workers must fit
+// on at least one machine or the job could never run.
+func (f *Fleet) Submit(spec workload.Spec, workers int, workScale, at float64) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if workScale <= 0 {
+		return nil, fmt.Errorf("fleet: work scale %g must be positive", workScale)
+	}
+	if at < f.now {
+		return nil, fmt.Errorf("fleet: arrival %.3f is in the past (now %.3f)", at, f.now)
+	}
+	fits := false
+	for _, m := range f.machines {
+		if workers >= 1 && workers <= m.topo.NumNodes() {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		return nil, fmt.Errorf("fleet: no machine has %d nodes", workers)
+	}
+	job := &Job{
+		ID: len(f.jobs) + 1, Spec: spec, Workers: workers, WorkScale: workScale,
+		Arrival: at, State: JobPending, Machine: -1,
+	}
+	f.jobs = append(f.jobs, job)
+	f.push(at, evArrive, job, -1)
+	return job, nil
+}
+
+// StreamSpec is one workload class of a job stream: a spec, an arrival
+// process and a per-job shape.
+type StreamSpec struct {
+	// Workload is the job's (unscaled) spec.
+	Workload workload.Spec
+	// Arrival generates this class's submission times.
+	Arrival workload.ArrivalSpec
+	// Workers is the per-job NUMA-node demand.
+	Workers int
+	// WorkScale scales each job's work volume (default 1).
+	WorkScale float64
+}
+
+// SubmitStream materializes every class's arrival process (seeded from the
+// fleet seed and the class index) and submits the merged job stream. Jobs
+// are numbered in global arrival order, ties broken by class order.
+func (f *Fleet) SubmitStream(streams []StreamSpec) error {
+	type pending struct {
+		at    float64
+		class int
+		s     *StreamSpec
+	}
+	var all []pending
+	for ci := range streams {
+		s := &streams[ci]
+		times, err := s.Arrival.Times(f.cfg.Seed + uint64(ci)*1_000_003)
+		if err != nil {
+			return fmt.Errorf("fleet: stream %d (%s): %w", ci, s.Workload.Name, err)
+		}
+		for _, at := range times {
+			all = append(all, pending{at: at, class: ci, s: s})
+		}
+	}
+	// Stable merge: arrival time, then class index. Insertion sort keeps
+	// it dependency-free; streams are short relative to simulation work.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && (all[j].at < all[j-1].at ||
+			(all[j].at == all[j-1].at && all[j].class < all[j-1].class)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	for _, p := range all {
+		ws := p.s.WorkScale
+		if ws <= 0 {
+			ws = 1
+		}
+		if _, err := f.Submit(p.s.Workload, p.s.Workers, ws, p.at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run processes the whole submitted stream to completion and returns the
+// final statistics.
+func (f *Fleet) Run() (*Stats, error) {
+	if err := f.run(math.Inf(1), true); err != nil {
+		return nil, err
+	}
+	if err := f.log.Err(); err != nil {
+		return nil, err
+	}
+	return f.Stats(), nil
+}
+
+// Advance moves simulated time forward by d seconds, handling every event
+// that falls due — the daemon's clock driver.
+func (f *Fleet) Advance(d float64) error {
+	if d < 0 {
+		return fmt.Errorf("fleet: negative advance %g", d)
+	}
+	return f.run(f.now+d, false)
+}
+
+// ProcessDue handles events due at the current time without advancing the
+// clock — how a daemon admits a just-submitted job synchronously.
+func (f *Fleet) ProcessDue() error { return f.run(f.now, false) }
+
+// eps returns the tolerance for clock comparisons: events bind to the
+// first tick boundary at or after their timestamp, so an event is due only
+// once the clock has actually reached it (modulo float accumulation
+// drift). Binding forward means a job is never logged as admitted before
+// its own arrival. Log timestamps are still not globally monotone:
+// completion records carry interpolated sub-tick finish times, so one may
+// trail an admit bound to the next tick boundary by up to one tick —
+// consumers needing exact order must sort by Seq, which is dense and
+// causal.
+func (f *Fleet) eps() float64 { return f.dt * 1e-6 }
+
+// run is the event loop. In drain mode it runs until no events remain and
+// no job is running (error if MaxSimTime is hit first); otherwise it stops
+// once the clock reaches target.
+func (f *Fleet) run(target float64, drain bool) error {
+	for {
+		// Handle everything due at the current tick, in heap order.
+		if f.events.Len() > 0 && f.events[0].t <= f.now+f.eps() {
+			ev := heap.Pop(&f.events).(*event)
+			if err := f.handle(ev); err != nil {
+				return err
+			}
+			continue
+		}
+		next := target
+		if f.events.Len() > 0 && f.events[0].t < next {
+			next = f.events[0].t
+		}
+		// MaxSimTime is a drain guard only: a daemon-driven Advance keeps
+		// its virtual clock running indefinitely.
+		if drain {
+			if f.events.Len() == 0 {
+				if f.running == 0 {
+					return nil
+				}
+				next = f.cfg.MaxSimTime
+			}
+			if next > f.cfg.MaxSimTime {
+				next = f.cfg.MaxSimTime
+			}
+		}
+		if f.now+f.eps() >= next {
+			if !drain {
+				return nil
+			}
+			return fmt.Errorf("fleet: MaxSimTime %.0f exceeded with %d running and %d queued jobs",
+				f.cfg.MaxSimTime, f.running, len(f.queue))
+		}
+		for _, j := range f.advanceTo(next) {
+			f.push(j.app.FinishTime(), evComplete, j, j.Machine)
+		}
+	}
+}
+
+// advanceTo ticks every machine in lockstep until the clock reaches t,
+// stopping at the first tick in which any job completes; the newly
+// completed jobs are returned so the loop can turn them into events.
+func (f *Fleet) advanceTo(t float64) []*Job {
+	var comps []*Job
+	for f.now+f.eps() < t {
+		for _, m := range f.machines {
+			m.eng.Step()
+			f.busyNodeSeconds += float64(len(m.free)-m.freeCount) * f.dt
+		}
+		f.now += f.dt
+		for _, m := range f.machines {
+			for _, j := range m.active {
+				if !j.seen && j.app.Done() {
+					j.seen = true
+					comps = append(comps, j)
+				}
+			}
+		}
+		if len(comps) > 0 {
+			break
+		}
+	}
+	return comps
+}
+
+// handle dispatches one event.
+func (f *Fleet) handle(ev *event) error {
+	switch ev.kind {
+	case evArrive:
+		job := ev.job
+		job.State = JobQueued
+		f.log.append(Record{T: job.Arrival, Type: "arrive", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
+		admitted, err := f.tryAdmit(job)
+		if err != nil {
+			return err
+		}
+		if !admitted {
+			f.queue = append(f.queue, job)
+			f.log.append(Record{T: job.Arrival, Type: "queue", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
+		}
+		return nil
+
+	case evComplete:
+		return f.complete(ev.job)
+
+	case evRetune:
+		return f.retune(f.machines[ev.mach])
+	}
+	return fmt.Errorf("fleet: unknown event kind %d", ev.kind)
+}
+
+// tryAdmit places the job on the machine with the most free nodes that can
+// hold it (ties to the lowest machine ID). False means no capacity.
+func (f *Fleet) tryAdmit(job *Job) (bool, error) {
+	var best *machine
+	for _, m := range f.machines {
+		if m.freeCount >= job.Workers && job.Workers <= m.topo.NumNodes() {
+			if best == nil || m.freeCount > best.freeCount {
+				best = m
+			}
+		}
+	}
+	if best == nil {
+		return false, nil
+	}
+	return true, f.place(job, best)
+}
+
+// place admits the job onto machine m: allocates its nodes, builds the
+// policy's placer (consulting the tuning cache under bwap), registers the
+// app and performs the initial placement.
+func (f *Fleet) place(job *Job, m *machine) error {
+	nodes := m.allocate(job.Workers)
+	coRunners := len(m.active)
+
+	var placer sim.Placer
+	var dwp float64
+	var hitPtr *bool
+	switch f.cfg.Policy {
+	case PolicyFirstTouch:
+		placer = policy.FirstTouch{}
+	case PolicyUniformAll:
+		placer = policy.UniformAll{}
+	case PolicyUniformWorkers:
+		placer = policy.UniformWorkers{}
+	case PolicyBWAP:
+		var hit bool
+		var err error
+		dwp, hit, err = f.cache.DWP(m.topo, job.Spec, job.Workers, coRunners)
+		if err != nil {
+			m.release(nodes)
+			return err
+		}
+		if hit {
+			f.cacheHits++
+		} else {
+			f.cacheMisses++
+		}
+		job.CacheHit = hit
+		hitPtr = &hit
+		placer = core.StaticDWP{
+			Canonical: f.cache.Canonical(m.topo),
+			DWP:       dwp,
+			UserLevel: true,
+			Label:     "fleet-bwap",
+		}
+	}
+
+	name := fmt.Sprintf("job-%d", job.ID)
+	app, err := m.eng.AddApp(name, job.Spec.Scaled(job.WorkScale), nodes, placer)
+	if err != nil {
+		m.release(nodes)
+		return fmt.Errorf("fleet: admitting job %d: %w", job.ID, err)
+	}
+	if err := m.eng.PlaceApp(app); err != nil {
+		// Deregister the half-admitted app so a later retry of this job
+		// does not collide with its name.
+		m.eng.RemoveApp(app) //nolint:errcheck // best-effort unwind
+		m.release(nodes)
+		return fmt.Errorf("fleet: placing job %d: %w", job.ID, err)
+	}
+
+	job.State = JobRunning
+	job.Machine = m.id
+	job.Nodes = nodes
+	job.Admit = f.now
+	job.app = app
+	m.active = append(m.active, job)
+	f.running++
+
+	rec := Record{T: f.now, Type: "admit", Job: job.ID, Machine: m.id,
+		Workload: job.Spec.Name, Nodes: nodeInts(nodes), CacheHit: hitPtr}
+	if f.cfg.Policy == PolicyBWAP {
+		rec.DWP = &dwp
+	}
+	f.log.append(rec)
+	f.scheduleRetune(m)
+	return nil
+}
+
+// complete handles a job departure: frees its nodes, detaches its app from
+// the engine, and backfills the queue.
+func (f *Fleet) complete(job *Job) error {
+	m := f.machines[job.Machine]
+	job.State = JobDone
+	job.Finish = job.app.FinishTime()
+	m.release(job.Nodes)
+	if err := m.eng.RemoveApp(job.app); err != nil {
+		return fmt.Errorf("fleet: completing job %d: %w", job.ID, err)
+	}
+	for i, j := range m.active {
+		if j == job {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	f.running--
+	f.log.append(Record{T: job.Finish, Type: "complete", Job: job.ID, Machine: m.id,
+		Workload: job.Spec.Name, Elapsed: job.Finish - job.Admit})
+	f.scheduleRetune(m)
+
+	// Backfill: admit every queued job that now fits, preserving arrival
+	// order among those that stay. The queue is always committed — even
+	// when an admission errors — so jobs admitted earlier in the sweep are
+	// never retried (a retry would collide with their registered app).
+	kept := f.queue[:0]
+	var admitErr error
+	for _, qj := range f.queue {
+		if admitErr != nil {
+			kept = append(kept, qj)
+			continue
+		}
+		admitted, err := f.tryAdmit(qj)
+		if err != nil {
+			admitErr = err
+			kept = append(kept, qj) // failed admission leaves the job queued
+			continue
+		}
+		if !admitted {
+			kept = append(kept, qj)
+		}
+	}
+	for i := len(kept); i < len(f.queue); i++ {
+		f.queue[i] = nil
+	}
+	f.queue = kept
+	return admitErr
+}
+
+// scheduleRetune arranges a coalesced retune of machine m's surviving jobs
+// shortly after churn (bwap policy only).
+func (f *Fleet) scheduleRetune(m *machine) {
+	if f.cfg.Policy != PolicyBWAP || f.cfg.RetuneDelay < 0 || m.retunePending || len(m.active) == 0 {
+		return
+	}
+	m.retunePending = true
+	f.push(f.now+f.cfg.RetuneDelay, evRetune, nil, m.id)
+}
+
+// retune re-places every running job on m for its current co-runner count,
+// migrating pages toward the cached placement for the new mix.
+func (f *Fleet) retune(m *machine) error {
+	m.retunePending = false
+	if len(m.active) == 0 {
+		return nil
+	}
+	jobs := make([]int, 0, len(m.active))
+	for _, job := range m.active {
+		dwp, hit, err := f.cache.DWP(m.topo, job.Spec, job.Workers, len(m.active)-1)
+		if err != nil {
+			return fmt.Errorf("fleet: retuning job %d: %w", job.ID, err)
+		}
+		if hit {
+			f.cacheHits++
+		} else {
+			f.cacheMisses++
+		}
+		canonical, err := f.cache.Canonical(m.topo).Weights(job.Nodes)
+		if err != nil {
+			return fmt.Errorf("fleet: retuning job %d: %w", job.ID, err)
+		}
+		w, err := core.DWPWeights(canonical, job.Nodes, dwp)
+		if err != nil {
+			return fmt.Errorf("fleet: retuning job %d: %w", job.ID, err)
+		}
+		if err := core.ApplyWeights(job.app.AS, w, true); err != nil {
+			return fmt.Errorf("fleet: retuning job %d: %w", job.ID, err)
+		}
+		jobs = append(jobs, job.ID)
+	}
+	f.log.append(Record{T: f.now, Type: "retune", Machine: m.id, Jobs: jobs})
+	return nil
+}
+
+func nodeInts(nodes []topology.NodeID) []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = int(n)
+	}
+	return out
+}

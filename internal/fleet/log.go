@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record is one line of the fleet's replayable JSONL event log. Field order
+// is fixed by this struct, values are fully determined by the fleet
+// configuration and job stream, and every float is produced by the same
+// deterministic computation on every run — so the same seed and stream
+// yield a bit-identical log (pinned by TestFleetDeterministicReplay).
+//
+// Record types:
+//
+//	arrive   — a job entered the system (Machine is -1)
+//	queue    — no machine had capacity; the job waits (Machine is -1)
+//	admit    — the job was placed (Machine, Nodes; DWP/CacheHit for bwap)
+//	complete — the job finished (Elapsed = finish − admit)
+//	retune   — co-located jobs were re-placed after churn (Jobs)
+type Record struct {
+	Seq      int     `json:"seq"`
+	T        float64 `json:"t"`
+	Type     string  `json:"type"`
+	Job      int     `json:"job,omitempty"`
+	Machine  int     `json:"machine"`
+	Workload string  `json:"workload,omitempty"`
+	Nodes    []int   `json:"nodes,omitempty"`
+	Jobs     []int   `json:"jobs,omitempty"`
+	// DWP is a pointer so an applied proximity factor of exactly 0 (the
+	// canonical distribution) still appears in admit records.
+	DWP      *float64 `json:"dwp,omitempty"`
+	CacheHit *bool    `json:"cache_hit,omitempty"`
+	Elapsed  float64  `json:"elapsed,omitempty"`
+}
+
+// eventLog accumulates the JSONL log, optionally mirroring each line to a
+// streaming writer.
+type eventLog struct {
+	buf  bytes.Buffer
+	w    io.Writer
+	seq  int
+	errs []error
+}
+
+// append assigns the next sequence number, encodes the record and appends
+// it. Encoding errors are collected rather than interrupting the
+// simulation; Err surfaces them.
+func (l *eventLog) append(rec Record) {
+	rec.Seq = l.seq
+	l.seq++
+	data, err := json.Marshal(rec)
+	if err != nil {
+		l.errs = append(l.errs, err)
+		return
+	}
+	data = append(data, '\n')
+	l.buf.Write(data)
+	if l.w != nil {
+		if _, err := l.w.Write(data); err != nil {
+			l.errs = append(l.errs, err)
+		}
+	}
+}
+
+func (l *eventLog) Err() error {
+	if len(l.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("fleet: %d log errors, first: %w", len(l.errs), l.errs[0])
+}
+
+// DecodeLog parses a JSONL event log back into records — the replay/verify
+// side of the format.
+func DecodeLog(data []byte) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("fleet: log line %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"bwap/internal/workload"
+)
+
+// Server exposes a Fleet over HTTP — the bwapd daemon. The fleet itself is
+// single-threaded; the server serializes all access behind one mutex, so
+// concurrent submissions are safe and admission (including any tuning-
+// cache probe) happens synchronously inside the POST. Simulated time is
+// decoupled from wall time: a background driver advances the clock at
+// SimRate simulated seconds per wall second while jobs are outstanding and
+// freezes it when the fleet is idle.
+//
+// Endpoints:
+//
+//	POST /submit  {"workload":"SC","workers":2,"work_scale":0.05,"count":1}
+//	              → {"ids":[1],"cache_hits":[false]}; "spec" may replace
+//	              "workload" with a full custom spec object
+//	GET  /status?id=N → one job
+//	GET  /jobs        → every job
+//	GET  /fleet       → Stats
+//	GET  /log         → the JSONL event log
+//	GET  /healthz     → 200 ok
+type Server struct {
+	mu    sync.Mutex
+	fleet *Fleet
+	// driveErr is the first error the background driver hit; it is
+	// reported by /healthz (503) and /fleet, since the driver itself has
+	// no requester to fail.
+	driveErr error
+
+	// SimRate is simulated seconds advanced per wall second (default 100).
+	SimRate float64
+	// Tick is the wall interval of the background driver (default 10 ms).
+	Tick time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewServer wraps a fleet.
+func NewServer(f *Fleet) *Server {
+	return &Server{fleet: f, SimRate: 100, Tick: 10 * time.Millisecond}
+}
+
+// Start launches the background clock driver.
+func (s *Server) Start() {
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.drive()
+}
+
+// Stop halts the clock driver and waits for it to exit.
+func (s *Server) Stop() {
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+}
+
+func (s *Server) drive() {
+	defer close(s.done)
+	t := time.NewTicker(s.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			// Freeze virtual time while idle: an empty daemon stays at a
+			// reproducible clock instead of burning ticks.
+			busy := s.fleet.running > 0 || s.fleet.events.Len() > 0
+			if busy {
+				if err := s.fleet.Advance(s.SimRate * s.Tick.Seconds()); err != nil && s.driveErr == nil {
+					s.driveErr = err
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// submitRequest is the POST /submit body.
+type submitRequest struct {
+	// Workload names a built-in benchmark (SC, OC, ON, SP.B, FT.C).
+	Workload string `json:"workload,omitempty"`
+	// Spec is a full custom workload spec; overrides Workload.
+	Spec *workload.Spec `json:"spec,omitempty"`
+	// Workers is the per-job NUMA-node demand (default 1).
+	Workers int `json:"workers,omitempty"`
+	// WorkScale scales the spec's work volume (default 1).
+	WorkScale float64 `json:"work_scale,omitempty"`
+	// Count submits that many identical jobs (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+type submitResponse struct {
+	IDs       []int   `json:"ids"`
+	CacheHits []bool  `json:"cache_hits"`
+	SimTime   float64 `json:"sim_time"`
+}
+
+// jobView is the JSON shape of one job.
+type jobView struct {
+	ID        int     `json:"id"`
+	Workload  string  `json:"workload"`
+	Workers   int     `json:"workers"`
+	State     string  `json:"state"`
+	Machine   int     `json:"machine"`
+	Nodes     []int   `json:"nodes,omitempty"`
+	Arrival   float64 `json:"arrival"`
+	Admit     float64 `json:"admit"`
+	Finish    float64 `json:"finish"`
+	CacheHit  bool    `json:"cache_hit"`
+	WorkScale float64 `json:"work_scale"`
+}
+
+func viewOf(j *Job) jobView {
+	v := jobView{
+		ID: j.ID, Workload: j.Spec.Name, Workers: j.Workers,
+		State: j.State.String(), Machine: j.Machine,
+		Arrival: j.Arrival, Admit: j.Admit, Finish: j.Finish,
+		CacheHit: j.CacheHit, WorkScale: j.WorkScale,
+	}
+	for _, n := range j.Nodes {
+		v.Nodes = append(v.Nodes, int(n))
+	}
+	return v
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/log", s.handleLog)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		err := s.driveErr
+		s.mu.Unlock()
+		if err != nil {
+			http.Error(w, "driver failed: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	var spec workload.Spec
+	switch {
+	case req.Spec != nil:
+		spec = *req.Spec
+	case req.Workload != "":
+		var err error
+		spec, err = workload.ByName(req.Workload)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need workload or spec"))
+		return
+	}
+	if req.Workers <= 0 {
+		req.Workers = 1
+	}
+	if req.WorkScale <= 0 {
+		req.WorkScale = 1
+	}
+	if req.Count <= 0 {
+		req.Count = 1
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := submitResponse{}
+	for i := 0; i < req.Count; i++ {
+		job, err := s.fleet.Submit(spec, req.Workers, req.WorkScale, s.fleet.Now())
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		// Admit synchronously: the arrival is due now, so ProcessDue runs
+		// placement — and on a cache hit the probe is skipped, which is
+		// the repeat-job latency win the cache exists for.
+		if err := s.fleet.ProcessDue(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.IDs = append(resp.IDs, job.ID)
+		resp.CacheHits = append(resp.CacheHits, job.CacheHit)
+	}
+	resp.SimTime = s.fleet.Now()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := s.fleet.Job(id)
+	if job == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(job))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]jobView, 0, len(s.fleet.Jobs()))
+	for _, j := range s.fleet.Jobs() {
+		views = append(views, viewOf(j))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := struct {
+		*Stats
+		DriverError string `json:"driver_error,omitempty"`
+	}{Stats: s.fleet.Stats()}
+	if s.driveErr != nil {
+		resp.DriverError = s.driveErr.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	data := append([]byte(nil), s.fleet.LogBytes()...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(data) //nolint:errcheck // client went away
+}

@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bwap/internal/sim"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Machines:   1,
+		NewMachine: smallMachine,
+		SimCfg:     sim.Config{Seed: 21},
+		Policy:     PolicyBWAP,
+		Seed:       21,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(f)
+	s.SimRate = 2000 // drain quickly in wall time
+	ts := httptest.NewServer(s.Handler())
+	s.Start()
+	t.Cleanup(func() { ts.Close(); s.Stop() })
+	return s, ts
+}
+
+func postSubmit(t *testing.T, url string, body string) submitResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/submit", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out submitResponse
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		t.Fatalf("submit: %d %v", resp.StatusCode, e)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jobBody is a fast custom spec submitted through the full HTTP path.
+const jobBody = `{"spec":{"Name":"httpjob","ReadGBs":10,"WriteGBs":1,"PrivateFrac":0.3,
+"LatencySensitivity":0.2,"SyncFactor":0.1,"WorkGB":400,"SharedGB":0.25,"PrivateGBPerNode":0.1},
+"workers":4,"work_scale":0.05}`
+
+// TestServerConcurrentSubmissions hammers /submit from many goroutines:
+// every submission must succeed, exactly one may probe (the rest hit the
+// tuning cache — repeat jobs skip re-profiling), and the stream must drain.
+func TestServerConcurrentSubmissions(t *testing.T) {
+	_, ts := newTestServer(t)
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postSubmit(t, ts.URL, jobBody)
+		}()
+	}
+	wg.Wait()
+
+	// All jobs take the whole 4-node machine, so they run serially and
+	// every admission sees co-runner count 0: one cache key, one probe.
+	deadline := time.Now().Add(30 * time.Second)
+	var stats Stats
+	for {
+		getJSON(t, ts.URL+"/fleet", &stats)
+		if stats.Completed == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream did not drain: %+v", stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stats.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want 1 (repeat jobs must not re-profile)", stats.CacheMisses)
+	}
+	if stats.CacheHits < n-1 {
+		t.Fatalf("CacheHits = %d, want >= %d", stats.CacheHits, n-1)
+	}
+
+	var views []jobView
+	getJSON(t, ts.URL+"/jobs", &views)
+	if len(views) != n {
+		t.Fatalf("/jobs returned %d, want %d", len(views), n)
+	}
+	hits := 0
+	for _, v := range views {
+		if v.State != "done" {
+			t.Fatalf("job %d state %q", v.ID, v.State)
+		}
+		if v.CacheHit {
+			hits++
+		}
+	}
+	if hits != n-1 {
+		t.Fatalf("%d jobs hit the cache, want %d", hits, n-1)
+	}
+}
+
+// TestServerEndpoints covers status, log and validation paths.
+func TestServerEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	out := postSubmit(t, ts.URL, jobBody)
+	if len(out.IDs) != 1 || out.IDs[0] != 1 {
+		t.Fatalf("submit response %+v", out)
+	}
+
+	var v jobView
+	getJSON(t, ts.URL+"/status?id=1", &v)
+	if v.ID != 1 || v.Workload != "httpjob" {
+		t.Fatalf("status = %+v", v)
+	}
+	if v.State != "running" && v.State != "done" {
+		t.Fatalf("job state %q immediately after synchronous admission", v.State)
+	}
+
+	if resp, _ := http.Get(ts.URL + "/status?id=99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job returned %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/submit"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /submit returned %d", resp.StatusCode)
+	}
+	if resp, _ := http.Post(ts.URL+"/submit", "application/json",
+		bytes.NewReader([]byte(`{}`))); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty submit returned %d", resp.StatusCode)
+	}
+
+	// Wait for completion, then the log must decode and contain the job.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/status?id=1", &v)
+		if v.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeLog(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]bool{}
+	for _, r := range recs {
+		types[r.Type] = true
+	}
+	for _, want := range []string{"arrive", "admit", "complete"} {
+		if !types[want] {
+			t.Fatalf("log missing %q records: %v", want, types)
+		}
+	}
+}
+
+// TestServerSubmitLatencyDrop measures the placement-latency effect the
+// tuning cache exists for: the first submission of a workload runs the
+// profiling probe inline, the second skips it. The hit must be at least
+// several times faster; the generous ratio keeps slow-CI noise out.
+func TestServerSubmitLatencyDrop(t *testing.T) {
+	_, ts := newTestServer(t)
+	start := time.Now()
+	first := postSubmit(t, ts.URL, jobBody)
+	missLatency := time.Since(start)
+	// Let the first job drain so the repeat admission happens synchronously
+	// inside the second POST instead of queueing behind a busy machine.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var v jobView
+		getJSON(t, ts.URL+"/status?id=1", &v)
+		if v.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	start = time.Now()
+	second := postSubmit(t, ts.URL, jobBody)
+	hitLatency := time.Since(start)
+	if first.CacheHits[0] || !second.CacheHits[0] {
+		t.Fatalf("cache flags: first=%v second=%v", first.CacheHits[0], second.CacheHits[0])
+	}
+	if hitLatency > missLatency {
+		t.Fatalf("cache hit submission (%v) slower than probing one (%v)", hitLatency, missLatency)
+	}
+	t.Logf("miss=%v hit=%v (%.1fx)", missLatency, hitLatency, float64(missLatency)/float64(hitLatency))
+}

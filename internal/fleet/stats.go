@@ -1,0 +1,78 @@
+package fleet
+
+// Stats summarizes a fleet's state, serialized by the daemon's /fleet
+// endpoint and rendered by the fleet experiment.
+type Stats struct {
+	// Policy is the placement policy in force.
+	Policy string `json:"policy"`
+	// Machines is the fleet size.
+	Machines int `json:"machines"`
+	// SimTime is the current simulated time.
+	SimTime float64 `json:"sim_time"`
+
+	// Jobs counts every submission; Pending/Queued/Running/Completed
+	// partition it.
+	Jobs      int `json:"jobs"`
+	Pending   int `json:"pending"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Completed int `json:"completed"`
+
+	// MeanWait is the mean time from arrival to admission over completed
+	// jobs; MeanRuntime the mean admission-to-finish time; MeanTurnaround
+	// their sum measured end to end.
+	MeanWait       float64 `json:"mean_wait"`
+	MeanRuntime    float64 `json:"mean_runtime"`
+	MeanTurnaround float64 `json:"mean_turnaround"`
+	// ThroughputJobsPerSec is completed jobs per simulated second.
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	// Utilization is the busy-node-seconds fraction across the fleet.
+	Utilization float64 `json:"utilization"`
+
+	// CacheHits/CacheMisses count this fleet's tuning-cache lookups
+	// (admissions and retunes, bwap policy only).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// LogRecords is the number of event-log lines written.
+	LogRecords int `json:"log_records"`
+}
+
+// Stats computes the current snapshot.
+func (f *Fleet) Stats() *Stats {
+	s := &Stats{
+		Policy:      f.cfg.Policy,
+		Machines:    len(f.machines),
+		SimTime:     f.now,
+		Jobs:        len(f.jobs),
+		CacheHits:   f.cacheHits,
+		CacheMisses: f.cacheMisses,
+		LogRecords:  f.log.seq,
+	}
+	var wait, run, turn float64
+	for _, j := range f.jobs {
+		switch j.State {
+		case JobPending:
+			s.Pending++
+		case JobQueued:
+			s.Queued++
+		case JobRunning:
+			s.Running++
+		case JobDone:
+			s.Completed++
+			wait += j.Admit - j.Arrival
+			run += j.Finish - j.Admit
+			turn += j.Finish - j.Arrival
+		}
+	}
+	if s.Completed > 0 {
+		n := float64(s.Completed)
+		s.MeanWait = wait / n
+		s.MeanRuntime = run / n
+		s.MeanTurnaround = turn / n
+	}
+	if f.now > 0 {
+		s.ThroughputJobsPerSec = float64(s.Completed) / f.now
+		s.Utilization = f.busyNodeSeconds / (f.now * float64(f.totalNodes))
+	}
+	return s
+}

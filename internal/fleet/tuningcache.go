@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"bwap/internal/cache"
+	"bwap/internal/core"
+	"bwap/internal/policy"
+	"bwap/internal/sched"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+	"bwap/internal/workload"
+)
+
+// TuningCache memoizes BWAP placement decisions across jobs so that a
+// repeated job skips re-profiling entirely. Two layers are cached, both
+// with single-flight semantics (internal/cache):
+//
+//   - one core.CanonicalTuner per topology *fingerprint*, shared by every
+//     machine of the same model — the canonical bandwidth profiling runs
+//     at most once per (model, worker set) for the whole fleet;
+//   - one tuned DWP value per (topology fingerprint × workload signature ×
+//     worker count × co-runner count). A miss runs an offline probe: the
+//     job's spec under the full BWAP policy (canonical weights + on-line
+//     DWP tuner) on the best worker set of that size, against a synthetic
+//     background co-runner scaled to the co-runner count. The probe's
+//     BestDWP is the cached placement decision.
+//
+// The key deliberately uses the worker *count*, not the exact node set:
+// the DWP proximity factor is a scalar property of how much page mass the
+// worker set should attract, which transfers across symmetric node sets;
+// the node-set-specific canonical weights are resolved separately (and
+// cached per exact set inside the CanonicalTuner).
+//
+// A TuningCache is safe for concurrent use and may be shared across fleets
+// and a bwapd daemon; concurrent first submissions of the same key share
+// one probe run.
+type TuningCache struct {
+	simCfg     sim.Config
+	probeScale float64
+	seed       uint64
+	canon      *cache.Cache[*core.CanonicalTuner]
+	dwp        *cache.Cache[float64]
+}
+
+// DefaultProbeWorkScale is the fraction of a job's work volume a tuning
+// probe simulates: long enough for the scaled DWP search to converge,
+// short enough that a cache miss costs a small fraction of the job itself.
+const DefaultProbeWorkScale = 0.05
+
+// probeMaxTime bounds one probe run in simulated seconds; if the tuner has
+// not finished by then, its best-so-far DWP is used.
+const probeMaxTime = 600
+
+// NewTuningCache returns an empty cache. simCfg should match the fleet's
+// engine configuration so probes see the same contention model; probeScale
+// <= 0 selects DefaultProbeWorkScale.
+func NewTuningCache(simCfg sim.Config, probeScale float64, seed uint64) *TuningCache {
+	if probeScale <= 0 {
+		probeScale = DefaultProbeWorkScale
+	}
+	return &TuningCache{
+		simCfg:     simCfg,
+		probeScale: probeScale,
+		seed:       seed,
+		canon:      cache.New[*core.CanonicalTuner](),
+		dwp:        cache.New[float64](),
+	}
+}
+
+// Canonical returns the shared canonical tuner for the machine's topology
+// fingerprint, creating it on first use.
+func (tc *TuningCache) Canonical(topo *topology.Machine) *core.CanonicalTuner {
+	ct, _, _ := tc.canon.Get(topo.Fingerprint(), func() (*core.CanonicalTuner, error) {
+		return core.NewCanonicalTuner(topo, tc.simCfg), nil
+	})
+	return ct
+}
+
+// Key derives the cache key for a placement decision.
+func (tc *TuningCache) Key(topo *topology.Machine, spec workload.Spec, workers, coRunners int) string {
+	return fmt.Sprintf("%s|%s|w%d|c%d", topo.Fingerprint(), spec.Signature(), workers, coRunners)
+}
+
+// DWP returns the tuned proximity factor for the given placement context,
+// running a probe on first use. hit reports whether the value came from
+// the cache (true) or this call ran the probe (false).
+func (tc *TuningCache) DWP(topo *topology.Machine, spec workload.Spec, workers, coRunners int) (dwp float64, hit bool, err error) {
+	key := tc.Key(topo, spec, workers, coRunners)
+	return tc.dwp.Get(key, func() (float64, error) {
+		return tc.probe(key, topo, spec, workers, coRunners)
+	})
+}
+
+// Stats reports the DWP cache's cumulative hit and miss counts.
+func (tc *TuningCache) Stats() (hits, misses int64) { return tc.dwp.Stats() }
+
+// probeParams compresses the DWP search the same way the experiment
+// profiles do for scaled-down runs, so the probe converges within its
+// shortened work volume.
+func probeParams() core.Params {
+	p := core.DefaultParams()
+	p.N, p.C, p.T = 5, 1, 0.1
+	return p
+}
+
+// probeCoSpec models the aggregate memory pressure of n co-located jobs as
+// one background streaming application: a moderate mixed read/write stream
+// per co-runner, never finishing (ComputeBound), so the probe's tuner
+// hill-climbs against a loaded interconnect comparable to the fleet
+// machine it stands in for.
+func probeCoSpec(n int) workload.Spec {
+	d := 4.0 * float64(n)
+	return workload.Spec{
+		Name: "probe-co", ReadGBs: d, WriteGBs: 0.25 * d, PrivateFrac: 0.5,
+		LatencySensitivity: 0.05,
+		SharedGB:           0.25, PrivateGBPerNode: 0.1,
+		ComputeBound: true,
+	}
+}
+
+// probe runs one offline tuning simulation and returns the DWP the on-line
+// tuner settles on. The seed is derived from the key so every probe is
+// deterministic regardless of the order in which keys are first requested.
+func (tc *TuningCache) probe(key string, topo *topology.Machine, spec workload.Spec, workers, coRunners int) (float64, error) {
+	ws, err := sched.BestWorkerSet(topo, workers)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: probe %s: %w", key, err)
+	}
+	cfg := tc.simCfg
+	cfg.MaxTime = probeMaxTime
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	cfg.Seed = tc.seed ^ h.Sum64()
+	e := sim.New(topo, cfg)
+
+	if rest := sched.RemainingNodes(topo, ws); coRunners > 0 && len(rest) > 0 {
+		if _, err := e.AddApp("probe-co", probeCoSpec(coRunners), rest, policy.FirstTouch{}); err != nil {
+			return 0, fmt.Errorf("fleet: probe %s: %w", key, err)
+		}
+	}
+	b := core.NewBWAP(tc.Canonical(topo))
+	b.Params = probeParams()
+	if _, err := e.AddApp(spec.Name, spec.Scaled(tc.probeScale), ws, b); err != nil {
+		return 0, fmt.Errorf("fleet: probe %s: %w", key, err)
+	}
+	if _, err := e.Run(); err != nil {
+		return 0, fmt.Errorf("fleet: probe %s: %w", key, err)
+	}
+	tuner := b.TunerFor(spec.Name)
+	if tuner == nil {
+		return 0, fmt.Errorf("fleet: probe %s: no tuner attached", key)
+	}
+	if err := tuner.Err(); err != nil {
+		return 0, fmt.Errorf("fleet: probe %s: %w", key, err)
+	}
+	return tuner.BestDWP(), nil
+}

@@ -162,6 +162,7 @@ type App struct {
 	tickByWorker []float64
 	workGB       float64
 	migBacklogGB float64
+	placed       bool
 	done         bool
 	finish       float64
 
@@ -233,7 +234,7 @@ type Engine struct {
 	Cfg Config
 
 	apps    []*App
-	hooks   []Hook
+	hooks   []hookEntry
 	now     float64
 	ticks   int
 	latMult []float64
@@ -255,6 +256,13 @@ type Engine struct {
 }
 
 type rngState struct{ next uint64 }
+
+// hookEntry binds a hook to the app that owns it (nil for engine-global
+// hooks), so RemoveApp can detach an app's tuners along with the app.
+type hookEntry struct {
+	h     Hook
+	owner *App
+}
 
 // New returns an engine for the machine.
 func New(m *topology.Machine, cfg Config) *Engine {
@@ -292,8 +300,15 @@ func (e *Engine) NextSeed() uint64 {
 	return e.rng.next
 }
 
-// AddHook registers a per-tick hook.
-func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
+// AddHook registers an engine-global per-tick hook.
+func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, hookEntry{h: h}) }
+
+// AddAppHook registers a per-tick hook owned by app: RemoveApp(app) will
+// drop it together with the app. Placement policies that attach per-app
+// runtime state (the BWAP tuners) register through this.
+func (e *Engine) AddAppHook(app *App, h Hook) {
+	e.hooks = append(e.hooks, hookEntry{h: h, owner: app})
+}
 
 // AddApp registers an application on the given worker nodes with one thread
 // pinned per core, creating its address space (one shared segment plus one
@@ -399,20 +414,90 @@ func (e *Engine) place() error {
 		return fmt.Errorf("sim: no foreground applications")
 	}
 	for _, a := range e.apps {
-		if err := a.placer.Place(e, a); err != nil {
-			return fmt.Errorf("sim: placing %s with %s: %w", a.Name, a.placer.Name(), err)
+		if a.placed {
+			continue
 		}
-		for _, seg := range a.AS.Segments() {
-			if seg.MappedPages() != seg.PageCount() {
-				return fmt.Errorf("sim: %s: policy %s left %d/%d pages of %s unmapped",
-					a.Name, a.placer.Name(), seg.PageCount()-seg.MappedPages(), seg.PageCount(), seg.Name())
-			}
+		if err := e.PlaceApp(a); err != nil {
+			return err
 		}
-		// The initial allocation-time placement is not a migration; the
-		// backlog starts clean.
-		a.AS.DrainMigratedBytes()
 	}
 	return nil
+}
+
+// PlaceApp runs the app's initial placement immediately and validates that
+// every page got mapped. Run calls it for every registered app; callers
+// driving the engine incrementally (Step/AdvanceTo) must call it themselves
+// after AddApp — an unplaced app does not execute. Placing twice is an
+// error.
+func (e *Engine) PlaceApp(a *App) error {
+	if a.placed {
+		return fmt.Errorf("sim: app %s already placed", a.Name)
+	}
+	if err := a.placer.Place(e, a); err != nil {
+		return fmt.Errorf("sim: placing %s with %s: %w", a.Name, a.placer.Name(), err)
+	}
+	for _, seg := range a.AS.Segments() {
+		if seg.MappedPages() != seg.PageCount() {
+			return fmt.Errorf("sim: %s: policy %s left %d/%d pages of %s unmapped",
+				a.Name, a.placer.Name(), seg.PageCount()-seg.MappedPages(), seg.PageCount(), seg.Name())
+		}
+	}
+	// The initial allocation-time placement is not a migration; the
+	// backlog starts clean.
+	a.AS.DrainMigratedBytes()
+	a.placed = true
+	return nil
+}
+
+// RemoveApp deregisters a departed app and any hooks it owns, so a
+// long-lived engine serving a stream of jobs does not accumulate per-tick
+// work for applications that already finished. The app's address space and
+// counters stay valid for post-mortem inspection. Removing an app that was
+// never registered (or was already removed) is an error. Must not be called
+// from inside a hook.
+func (e *Engine) RemoveApp(a *App) error {
+	idx := -1
+	for i, x := range e.apps {
+		if x == a {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("sim: app %s not registered", a.Name)
+	}
+	e.apps = append(e.apps[:idx], e.apps[idx+1:]...)
+	for i, x := range e.apps {
+		x.index = i
+	}
+	kept := e.hooks[:0]
+	for _, he := range e.hooks {
+		if he.owner != a {
+			kept = append(kept, he)
+		}
+	}
+	for i := len(kept); i < len(e.hooks); i++ {
+		e.hooks[i] = hookEntry{} // release removed hooks for GC
+	}
+	e.hooks = kept
+	return nil
+}
+
+// Step advances the simulation by exactly one tick, regardless of
+// completion state — the engine idles fine with zero runnable apps, which
+// is what keeps a fleet of machines advancing in lockstep. Apps must have
+// been placed (PlaceApp); unplaced apps are skipped.
+func (e *Engine) Step() { e.tick() }
+
+// AdvanceTo ticks until the engine clock reaches t (within half a tick).
+// It is the run-until-event primitive: a caller that knows the next
+// externally scheduled event advances to it, mutates the app set
+// (AddApp/PlaceApp/RemoveApp), and resumes. Unlike Run it does not stop
+// when foreground apps finish; poll Apps()[i].Done() between calls.
+func (e *Engine) AdvanceTo(t float64) {
+	for e.now+e.Cfg.DT/2 < t {
+		e.tick()
+	}
 }
 
 // prepare sizes the per-app tick scratch once the app set is final.
@@ -475,7 +560,7 @@ func (e *Engine) tick() {
 	metas := e.metas[:0]
 
 	for _, a := range e.apps {
-		if a.done {
+		if a.done || !a.placed {
 			continue
 		}
 		a.lastDemand = 0
@@ -596,7 +681,7 @@ func (e *Engine) tick() {
 	}
 
 	for _, a := range e.apps {
-		if a.done {
+		if a.done || !a.placed {
 			continue
 		}
 		ach := achieved[a.index]
@@ -667,8 +752,8 @@ func (e *Engine) tick() {
 		e.latMult[i] = (1-sm)*e.latMult[i] + sm*target
 	}
 
-	for _, h := range e.hooks {
-		h.Tick(e)
+	for _, he := range e.hooks {
+		he.h.Tick(e)
 	}
 	e.now += dt
 	e.ticks++

@@ -1,0 +1,33 @@
+package topology
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable 64-bit hex digest of the machine's
+// performance-relevant structure: nodes (cores, controller bandwidth,
+// memory, local latency), links, routes, the latency matrix and the ingest
+// cap. Two Machine values with identical structure fingerprint identically
+// even when their Names differ, so tuning results keyed by fingerprint are
+// shared across a fleet of same-model machines.
+func (m *Machine) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "n%d l%d i%g;", len(m.nodes), len(m.links), m.ingestGBs)
+	for _, n := range m.nodes {
+		fmt.Fprintf(h, "N%d:%d:%g:%d:%g;", n.ID, n.Cores, n.ControllerGBs, n.MemoryBytes, n.LocalLatencyNs)
+	}
+	for _, l := range m.links {
+		fmt.Fprintf(h, "L%d:%g;", l.ID, l.CapacityGBs)
+	}
+	for s := range m.routes {
+		for d := range m.routes[s] {
+			fmt.Fprintf(h, "R%d>%d:", s, d)
+			for _, id := range m.routes[s][d] {
+				fmt.Fprintf(h, "%d,", id)
+			}
+			fmt.Fprintf(h, "=%g;", m.latencyNs[s][d])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,26 @@
+package topology
+
+import "testing"
+
+func TestFingerprintStableAcrossIdenticalStructures(t *testing.T) {
+	a, b := MachineA(), MachineA()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical machines must share a fingerprint")
+	}
+	if MachineA().Fingerprint() == MachineB().Fingerprint() {
+		t.Fatal("different machines must not collide")
+	}
+}
+
+func TestFingerprintIgnoresName(t *testing.T) {
+	a := Symmetric(4, 8, 40, 10)
+	b := Symmetric(4, 8, 40, 10)
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("name must not affect the fingerprint")
+	}
+	c := Symmetric(4, 8, 40, 12)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("bandwidth change must change the fingerprint")
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Signature returns a stable 64-bit hex digest of every behavioural field
+// of the spec. Jobs whose specs hash identically behave identically in the
+// simulator, so the fleet scheduler's tuning cache keys placement results
+// by this signature (together with the machine's topology fingerprint).
+func (s Spec) Signature() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%g|%g|%g|%g|%g|%g|%g|%g|%v|%g|%g",
+		s.Name, s.ReadGBs, s.WriteGBs, s.PrivateFrac, s.LatencySensitivity,
+		s.SyncFactor, s.WorkGB, s.SharedGB, s.PrivateGBPerNode,
+		s.ComputeBound, s.InitSeconds, s.InitDemandFactor)
+	for _, ph := range s.Phases {
+		fmt.Fprintf(h, "|p%g:%g:%g", ph.AtWorkFraction, ph.DemandFactor, ph.LatencyFactor)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ArrivalSpec describes when instances of a workload enter the system — the
+// churn layer the single-mix paper experiments lack. Arrival times are
+// materialized deterministically from a seed with the repo's own splitmix64
+// stream (not math/rand), so the same spec and seed produce bit-identical
+// series on every platform and Go version; the fleet scheduler's replayable
+// event log depends on that.
+type ArrivalSpec struct {
+	// Process selects the arrival process: "periodic" (fixed interval, with
+	// optional jitter) or "poisson" (exponential inter-arrival gaps).
+	Process string
+	// Rate is the mean arrival rate in jobs per simulated second.
+	Rate float64
+	// Start offsets the first arrival from time zero.
+	Start float64
+	// Count is the number of arrivals the spec generates.
+	Count int
+	// Jitter (periodic only) perturbs each arrival uniformly within
+	// ±Jitter/2 of its slot, as a fraction of the interval, in [0,1).
+	Jitter float64
+}
+
+// Arrival process names.
+const (
+	Periodic = "periodic"
+	Poisson  = "poisson"
+)
+
+// Validate checks the spec for internal consistency.
+func (a ArrivalSpec) Validate() error {
+	switch a.Process {
+	case Periodic, Poisson:
+	default:
+		return fmt.Errorf("workload: unknown arrival process %q", a.Process)
+	}
+	if a.Rate <= 0 {
+		return fmt.Errorf("workload: arrival rate %g must be positive", a.Rate)
+	}
+	if a.Start < 0 {
+		return fmt.Errorf("workload: negative arrival start %g", a.Start)
+	}
+	if a.Count <= 0 {
+		return fmt.Errorf("workload: arrival count %d must be positive", a.Count)
+	}
+	if a.Jitter < 0 || a.Jitter >= 1 {
+		return fmt.Errorf("workload: jitter %g out of [0,1)", a.Jitter)
+	}
+	return nil
+}
+
+// Times materializes the arrival time series. The same spec and seed always
+// produce the same series; distinct seeds decorrelate streams.
+func (a ArrivalSpec) Times(seed uint64) ([]float64, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	rng := NewRand(seed)
+	out := make([]float64, a.Count)
+	interval := 1 / a.Rate
+	t := a.Start
+	for i := range out {
+		switch a.Process {
+		case Periodic:
+			out[i] = t
+			if a.Jitter > 0 {
+				out[i] += interval * a.Jitter * (rng.Float64() - 0.5)
+				if out[i] < 0 {
+					out[i] = 0
+				}
+			}
+			t += interval
+		case Poisson:
+			// Exponential gap via inverse transform; 1-u is in (0,1], so
+			// the log argument never hits zero.
+			t += -math.Log(1-rng.Float64()) * interval
+			out[i] = t
+		}
+	}
+	return out, nil
+}
+
+// Rand is a tiny deterministic PRNG (splitmix64): platform- and
+// Go-version-independent, unlike math/rand's unspecified stream. It backs
+// every randomized choice on the fleet's replay path.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSignatureStableAndDiscriminating(t *testing.T) {
+	a := Streamcluster
+	b := Streamcluster
+	if a.Signature() != b.Signature() {
+		t.Fatal("identical specs must share a signature")
+	}
+	b.ReadGBs += 0.001
+	if a.Signature() == b.Signature() {
+		t.Fatal("changed demand must change the signature")
+	}
+	c := Streamcluster
+	c.Phases = []Phase{{AtWorkFraction: 0.5, DemandFactor: 2, LatencyFactor: 1}}
+	if a.Signature() == c.Signature() {
+		t.Fatal("phases must be part of the signature")
+	}
+}
+
+func TestArrivalValidate(t *testing.T) {
+	bad := []ArrivalSpec{
+		{Process: "burst", Rate: 1, Count: 1},
+		{Process: Periodic, Rate: 0, Count: 1},
+		{Process: Periodic, Rate: 1, Count: 0},
+		{Process: Periodic, Rate: 1, Count: 1, Start: -1},
+		{Process: Periodic, Rate: 1, Count: 1, Jitter: 1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("spec %d validated, want error", i)
+		}
+	}
+	good := ArrivalSpec{Process: Poisson, Rate: 0.5, Count: 10, Start: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestPeriodicTimes(t *testing.T) {
+	a := ArrivalSpec{Process: Periodic, Rate: 2, Start: 1, Count: 4}
+	got, err := a.Times(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 2, 2.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Times = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPoissonTimesDeterministicAndPlausible(t *testing.T) {
+	a := ArrivalSpec{Process: Poisson, Rate: 1, Count: 2000}
+	t1, err := a.Times(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := a.Times(42)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+	t3, _ := a.Times(43)
+	if t1[0] == t3[0] && t1[1] == t3[1] {
+		t.Fatal("different seeds produced the same series")
+	}
+	// Mean inter-arrival gap should approximate 1/rate.
+	mean := t1[len(t1)-1] / float64(len(t1))
+	if mean < 0.85 || mean > 1.15 {
+		t.Fatalf("mean gap %.3f, want ~1.0", mean)
+	}
+	// Strictly increasing.
+	for i := 1; i < len(t1); i++ {
+		if t1[i] <= t1[i-1] {
+			t.Fatalf("non-increasing arrivals at %d", i)
+		}
+	}
+}
+
+func TestRandUnitRange(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", u)
+		}
+	}
+}
