@@ -1,15 +1,21 @@
 // bwapd serves a simulated fleet of NUMA machines over HTTP: jobs are
-// submitted as workload specs, admitted onto the machine with the most free
-// nodes, placed by the selected policy (BWAP placements come from the
+// submitted as workload specs, routed to a shard (-routing), admitted onto
+// a machine with nodes chosen by the admission policy (-admission), placed
+// by the selected placement policy (BWAP placements come from the
 // single-flight tuning cache, so repeat jobs skip re-profiling), and
 // advanced through simulated time by a background clock decoupled from wall
-// time. See the fleet section of DESIGN.md for the event model and the
-// replayable JSONL log format.
+// time. With -shards > 1 the shards advance concurrently under a per-tick
+// barrier — the daemon's multi-core scaling axis; the event log stays
+// bit-identical for a given seed regardless of the worker count. See the
+// fleet section of DESIGN.md for the event model and the replayable JSONL
+// log format.
 //
 // Usage:
 //
 //	bwapd                                   # 2× Machine B fleet on :8080
 //	bwapd -machines 8 -machine A -policy bwap -sim-rate 500
+//	bwapd -machines 8 -shards 4 -shard-workers 4   # multi-core tick advance
+//	bwapd -routing hash-affinity -admission best-bandwidth
 //	bwapd -log fleet-events.jsonl           # mirror the event log to disk
 //
 // Endpoints:
@@ -18,6 +24,7 @@
 //	GET  /status?id=1
 //	GET  /jobs
 //	GET  /fleet
+//	GET  /shards
 //	GET  /log
 //	GET  /healthz
 package main
@@ -36,6 +43,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	machines := flag.Int("machines", 2, "fleet size")
+	shards := flag.Int("shards", 1, "shard count (per-shard event loops advanced in parallel)")
+	shardWorkers := flag.Int("shard-workers", 0, "goroutines advancing shards (0 = min(shards, GOMAXPROCS))")
+	routing := flag.String("routing", fleet.RouteLeastLoaded, "job routing tier: least-loaded, hash-affinity, round-robin")
+	admission := flag.String("admission", fleet.AdmitMostFree, "node-selection policy: most-free, best-bandwidth, anti-affinity")
 	machine := flag.String("machine", "B", "machine model: A (8-node Opteron), B (4-node Xeon)")
 	policy := flag.String("policy", fleet.PolicyBWAP, "placement policy: bwap, first-touch, uniform-all, uniform-workers")
 	seed := flag.Uint64("seed", 1, "deterministic seed for engines, probes and arrival noise")
@@ -58,6 +69,10 @@ func main() {
 
 	cfg := fleet.Config{
 		Machines:       *machines,
+		Shards:         *shards,
+		Workers:        *shardWorkers,
+		Routing:        *routing,
+		Admission:      *admission,
 		NewMachine:     newMachine,
 		SimCfg:         sim.Config{Seed: *seed},
 		Policy:         *policy,
@@ -85,8 +100,8 @@ func main() {
 	srv.Start()
 	defer srv.Stop()
 
-	fmt.Printf("bwapd: %d× machine %s fleet, policy %s, listening on %s\n",
-		*machines, *machine, *policy, *addr)
+	fmt.Printf("bwapd: %d× machine %s fleet (%d shards), policy %s, routing %s, admission %s, listening on %s\n",
+		*machines, *machine, *shards, *policy, *routing, *admission, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
 		os.Exit(1)

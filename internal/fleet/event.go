@@ -41,14 +41,11 @@ type event struct {
 	mach int  // completions and retunes; -1 otherwise
 }
 
-// eventHeap is a min-heap ordered by (t, kind, seq), used via
-// container/heap.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// eventLess is the scheduling order: (t, kind, seq). Sequence numbers are
+// assigned from one fleet-global counter, so comparing the tops of several
+// shard heaps with eventLess yields the exact order a single merged heap
+// would produce.
+func eventLess(a, b *event) bool {
 	if a.t != b.t {
 		return a.t < b.t
 	}
@@ -57,6 +54,13 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
+
+// eventHeap is a min-heap ordered by eventLess, used via container/heap.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
 
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 

@@ -3,28 +3,41 @@
 // workload specs with arrival processes and durations — across a fleet of
 // simulated NUMA machines.
 //
-// Each machine is one sim.Engine advanced in lockstep with the others
-// (identical tick length), so co-located jobs contend exactly as they do
-// in the single-run experiments. The scheduler pops events off a min-heap
-// ordered by (timestamp, event kind, push sequence); between events it
-// advances every engine tick by tick, stopping the instant any job
-// completes so the completion becomes an event of its own. Admission picks
-// the machine with the most free NUMA nodes; jobs that do not fit wait in
-// an arrival-ordered queue and are backfilled as capacity frees up. Under
-// the bwap policy, placement consults the TuningCache — repeated jobs skip
-// re-profiling — and churn (an arrival or departure on a machine)
-// schedules a coalesced retune event that re-places the survivors for
-// their new co-runner count.
+// The fleet is partitioned into shards, each with its own event heap,
+// clock and machine set. Within a shard every machine is one sim.Engine
+// advanced in lockstep with the others (identical tick length), so
+// co-located jobs contend exactly as they do in the single-run
+// experiments; across shards a bounded worker pool advances every shard
+// concurrently with a barrier per simulated tick, which is the daemon's
+// multi-core scaling axis. Jobs never cross shards once placed, so the
+// lockstep invariant holds per shard and the merged event log is
+// bit-identical for a given seed regardless of the worker count.
 //
-// Every decision is appended to a JSONL event log; the same configuration,
-// seed and job stream reproduce the log bit for bit.
+// The scheduler pops events off the shard heaps (and a router-level
+// arrival heap) in global (timestamp, event kind, push sequence) order;
+// between events it advances every shard tick by tick, stopping the
+// instant any job completes so the completion becomes an event of its
+// own. A routing tier assigns each admission attempt to a shard
+// (Config.Routing: least-loaded, hash-affinity, round-robin) and an
+// AdmissionPolicy picks the node set on the chosen machine
+// (Config.Admission: most-free, best-bandwidth, anti-affinity); jobs that
+// do not fit wait in an arrival-ordered queue and are backfilled as
+// capacity frees up. Under the bwap policy, placement consults the
+// TuningCache — repeated jobs skip re-profiling — and churn (an arrival
+// or departure on a machine) schedules a coalesced retune event that
+// re-places the survivors for their new co-runner count.
+//
+// Every decision is appended to a JSONL event log; the same
+// configuration, seed and job stream reproduce the log bit for bit.
 package fleet
 
 import (
 	"container/heap"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
+	"runtime"
 
 	"bwap/internal/core"
 	"bwap/internal/policy"
@@ -45,6 +58,19 @@ const (
 type Config struct {
 	// Machines is the fleet size (default 2).
 	Machines int
+	// Shards partitions the machines into independently advanced shards
+	// (default 1; machine i belongs to shard i mod Shards). Must not
+	// exceed Machines.
+	Shards int
+	// Workers bounds the goroutines advancing shards between events
+	// (default min(Shards, GOMAXPROCS); clamped to Shards). The event log
+	// is bit-identical for any worker count.
+	Workers int
+	// Routing selects the job→shard tier (default RouteLeastLoaded).
+	Routing string
+	// Admission selects the node-selection policy on the admitting
+	// machine (default AdmitMostFree).
+	Admission string
 	// NewMachine builds machine i's topology (default: the paper's
 	// Machine B for every i). Machines sharing a topology structure share
 	// canonical profiling and tuning-cache entries via the fingerprint.
@@ -77,6 +103,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Machines <= 0 {
 		c.Machines = 2
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Routing == "" {
+		c.Routing = RouteLeastLoaded
+	}
+	if c.Admission == "" {
+		c.Admission = AdmitMostFree
 	}
 	if c.NewMachine == nil {
 		c.NewMachine = func(int) *topology.Machine { return topology.MachineB() }
@@ -147,14 +182,16 @@ type Job struct {
 	// cache (bwap policy only).
 	CacheHit bool
 
-	app  *sim.App
-	seen bool // completion already turned into an event
+	app     *sim.App
+	seen    bool   // completion already turned into an event
+	sigHash uint64 // FNV-64a of Spec.Signature(), computed once at Submit
 }
 
-// machine is one fleet member: a topology, its engine, and allocation
-// state.
+// machine is one fleet member: a topology, its engine, allocation state
+// and its home shard.
 type machine struct {
 	id            int
+	shard         int
 	topo          *topology.Machine
 	eng           *sim.Engine
 	free          []bool
@@ -163,19 +200,32 @@ type machine struct {
 	retunePending bool
 }
 
-func (m *machine) allocate(k int) []topology.NodeID {
-	nodes := make([]topology.NodeID, 0, k)
+// freeNodes lists the machine's free nodes in ascending order.
+func (m *machine) freeNodes() []topology.NodeID {
+	nodes := make([]topology.NodeID, 0, m.freeCount)
 	for i := range m.free {
 		if m.free[i] {
 			nodes = append(nodes, topology.NodeID(i))
-			m.free[i] = false
-			m.freeCount--
-			if len(nodes) == k {
-				break
-			}
 		}
 	}
 	return nodes
+}
+
+// claim marks the given nodes used, validating the admission policy's
+// choice (every node free, no duplicates). On error nothing is claimed.
+func (m *machine) claim(nodes []topology.NodeID) error {
+	for i, n := range nodes {
+		if int(n) < 0 || int(n) >= len(m.free) || !m.free[n] {
+			for _, p := range nodes[:i] { // unwind the prefix
+				m.free[p] = true
+				m.freeCount++
+			}
+			return fmt.Errorf("fleet: admission policy picked unavailable node %d on machine %d", n, m.id)
+		}
+		m.free[n] = false
+		m.freeCount--
+	}
+	return nil
 }
 
 func (m *machine) release(nodes []topology.NodeID) {
@@ -187,27 +237,31 @@ func (m *machine) release(nodes []topology.NodeID) {
 	}
 }
 
-// Fleet schedules a job stream over a set of simulated machines. It is not
-// safe for concurrent use; the HTTP server serializes access.
+// Fleet schedules a job stream over a sharded set of simulated machines.
+// It is not safe for concurrent use; the HTTP server serializes access.
+// (The worker pool inside Advance/Run is an implementation detail — it
+// synchronizes on per-tick barriers and never outlives the call.)
 type Fleet struct {
-	cfg      Config
-	dt       float64
-	machines []*machine
-	cache    *TuningCache
+	cfg       Config
+	dt        float64
+	machines  []*machine // by global id
+	shards    []*shard
+	workers   int
+	router    Routing
+	admission AdmissionPolicy
+	cache     *TuningCache
 
 	jobs    []*Job // by ID-1
 	queue   []*Job // arrived, waiting for capacity
 	running int
 
-	events   eventHeap
+	arrivals eventHeap // router-level events; machine events live on shards
 	eventSeq int
 	now      float64
+	pool     *tickPool // live only inside a run() invocation
 
-	log             eventLog
-	cacheHits       int64
-	cacheMisses     int64
-	busyNodeSeconds float64
-	totalNodes      int
+	log        eventLog
+	totalNodes int
 }
 
 // New builds a fleet.
@@ -218,15 +272,36 @@ func New(cfg Config) (*Fleet, error) {
 	default:
 		return nil, fmt.Errorf("fleet: unknown policy %q", cfg.Policy)
 	}
+	if cfg.Shards > cfg.Machines {
+		return nil, fmt.Errorf("fleet: %d shards for %d machines", cfg.Shards, cfg.Machines)
+	}
+	router, err := NewRouting(cfg.Routing)
+	if err != nil {
+		return nil, err
+	}
+	admission, err := NewAdmissionPolicy(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
 	dt := cfg.SimCfg.DT
 	if dt <= 0 {
 		dt = 0.1
 	}
-	f := &Fleet{cfg: cfg, dt: dt, cache: cfg.Cache}
+	f := &Fleet{cfg: cfg, dt: dt, router: router, admission: admission, cache: cfg.Cache}
 	if f.cache == nil {
 		f.cache = NewTuningCache(cfg.SimCfg, cfg.ProbeWorkScale, cfg.Seed)
 	}
+	f.workers = cfg.Workers
+	if f.workers <= 0 {
+		f.workers = min(cfg.Shards, runtime.GOMAXPROCS(0))
+	}
+	if f.workers > cfg.Shards {
+		f.workers = cfg.Shards
+	}
 	f.log.w = cfg.LogW
+	for s := 0; s < cfg.Shards; s++ {
+		f.shards = append(f.shards, &shard{id: s})
+	}
 	for i := 0; i < cfg.Machines; i++ {
 		topo := cfg.NewMachine(i)
 		if topo == nil {
@@ -241,6 +316,7 @@ func New(cfg Config) (*Fleet, error) {
 		simCfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
 		m := &machine{
 			id:        i,
+			shard:     i % cfg.Shards,
 			topo:      topo,
 			eng:       sim.New(topo, simCfg),
 			free:      make([]bool, topo.NumNodes()),
@@ -250,6 +326,9 @@ func New(cfg Config) (*Fleet, error) {
 			m.free[j] = true
 		}
 		f.machines = append(f.machines, m)
+		sh := f.shards[m.shard]
+		sh.machines = append(sh.machines, m)
+		sh.nodes += topo.NumNodes()
 		f.totalNodes += topo.NumNodes()
 	}
 	return f, nil
@@ -272,13 +351,55 @@ func (f *Fleet) Job(id int) *Job {
 // Cache returns the fleet's tuning cache.
 func (f *Fleet) Cache() *TuningCache { return f.cache }
 
-// LogBytes returns the JSONL event log accumulated so far.
+// LogBytes returns the merged JSONL event log accumulated so far: the
+// interleave of every shard's record stream in global sequence order
+// (sequence numbers are assigned under the scheduler, so the merge is
+// total and independent of shard and worker counts).
 func (f *Fleet) LogBytes() []byte { return f.log.buf.Bytes() }
 
-// push schedules an event.
+// pendingEvents counts scheduled events across the arrival heap and every
+// shard heap.
+func (f *Fleet) pendingEvents() int {
+	n := f.arrivals.Len()
+	for _, s := range f.shards {
+		n += s.events.Len()
+	}
+	return n
+}
+
+// push schedules an event: arrivals on the router heap, machine-scoped
+// events (completions, retunes) on the owning machine's shard heap. The
+// sequence counter is global, so the cross-heap pop order is the exact
+// order a single heap would produce.
 func (f *Fleet) push(t float64, kind eventKind, job *Job, mach int) {
 	f.eventSeq++
-	heap.Push(&f.events, &event{t: t, kind: kind, seq: f.eventSeq, job: job, mach: mach})
+	ev := &event{t: t, kind: kind, seq: f.eventSeq, job: job, mach: mach}
+	if kind == evArrive {
+		heap.Push(&f.arrivals, ev)
+		return
+	}
+	heap.Push(&f.shards[f.machines[mach].shard].events, ev)
+}
+
+// peekNext returns the globally next event by (t, kind, seq) without
+// popping it, scanning the arrival heap and every shard heap top.
+func (f *Fleet) peekNext() (*event, *eventHeap) {
+	var best *event
+	var from *eventHeap
+	consider := func(h *eventHeap) {
+		if h.Len() == 0 {
+			return
+		}
+		ev := (*h)[0]
+		if best == nil || eventLess(ev, best) {
+			best, from = ev, h
+		}
+	}
+	consider(&f.arrivals)
+	for _, s := range f.shards {
+		consider(&s.events)
+	}
+	return best, from
 }
 
 // Submit schedules one job arrival at time at (>= Now). Workers must fit
@@ -307,6 +428,9 @@ func (f *Fleet) Submit(spec workload.Spec, workers int, workScale, at float64) (
 		ID: len(f.jobs) + 1, Spec: spec, Workers: workers, WorkScale: workScale,
 		Arrival: at, State: JobPending, Machine: -1,
 	}
+	h := fnv.New64a()
+	h.Write([]byte(spec.Signature()))
+	job.sigHash = h.Sum64()
 	f.jobs = append(f.jobs, job)
 	f.push(at, evArrive, job, -1)
 	return job, nil
@@ -403,25 +527,27 @@ func (f *Fleet) eps() float64 { return f.dt * 1e-6 }
 
 // run is the event loop. In drain mode it runs until no events remain and
 // no job is running (error if MaxSimTime is hit first); otherwise it stops
-// once the clock reaches target.
+// once the clock reaches target. The tick worker pool, if the advance
+// path needs one, lives exactly as long as this invocation.
 func (f *Fleet) run(target float64, drain bool) error {
+	defer f.stopPool()
 	for {
-		// Handle everything due at the current tick, in heap order.
-		if f.events.Len() > 0 && f.events[0].t <= f.now+f.eps() {
-			ev := heap.Pop(&f.events).(*event)
+		// Handle everything due at the current tick, in global heap order.
+		if ev, from := f.peekNext(); ev != nil && ev.t <= f.now+f.eps() {
+			heap.Pop(from)
 			if err := f.handle(ev); err != nil {
 				return err
 			}
 			continue
 		}
 		next := target
-		if f.events.Len() > 0 && f.events[0].t < next {
-			next = f.events[0].t
+		if ev, _ := f.peekNext(); ev != nil && ev.t < next {
+			next = ev.t
 		}
 		// MaxSimTime is a drain guard only: a daemon-driven Advance keeps
 		// its virtual clock running indefinitely.
 		if drain {
-			if f.events.Len() == 0 {
+			if f.pendingEvents() == 0 {
 				if f.running == 0 {
 					return nil
 				}
@@ -444,28 +570,22 @@ func (f *Fleet) run(target float64, drain bool) error {
 	}
 }
 
-// advanceTo ticks every machine in lockstep until the clock reaches t,
+// advanceTo ticks every shard in lockstep until the clock reaches t,
 // stopping at the first tick in which any job completes; the newly
-// completed jobs are returned so the loop can turn them into events.
+// completed jobs are returned so the loop can turn them into events. With
+// more than one shard and worker the shards advance concurrently under
+// the per-tick barrier; the serial path is the single-worker degenerate
+// case of the same loop.
 func (f *Fleet) advanceTo(t float64) []*Job {
 	var comps []*Job
-	for f.now+f.eps() < t {
-		for _, m := range f.machines {
-			m.eng.Step()
-			f.busyNodeSeconds += float64(len(m.free)-m.freeCount) * f.dt
-		}
-		f.now += f.dt
-		for _, m := range f.machines {
-			for _, j := range m.active {
-				if !j.seen && j.app.Done() {
-					j.seen = true
-					comps = append(comps, j)
-				}
-			}
-		}
-		if len(comps) > 0 {
-			break
-		}
+	if f.workers > 1 && len(f.shards) > 1 {
+		comps = f.advanceParallel(t)
+	} else {
+		comps = f.advanceSerial(t)
+	}
+	// Shards mirror the lockstep clock for their stats snapshots.
+	for _, s := range f.shards {
+		s.now = f.now
 	}
 	return comps
 }
@@ -476,14 +596,14 @@ func (f *Fleet) handle(ev *event) error {
 	case evArrive:
 		job := ev.job
 		job.State = JobQueued
-		f.log.append(Record{T: job.Arrival, Type: "arrive", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
+		f.logAppend(-1, Record{T: job.Arrival, Type: "arrive", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
 		admitted, err := f.tryAdmit(job)
 		if err != nil {
 			return err
 		}
 		if !admitted {
 			f.queue = append(f.queue, job)
-			f.log.append(Record{T: job.Arrival, Type: "queue", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
+			f.logAppend(-1, Record{T: job.Arrival, Type: "queue", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
 		}
 		return nil
 
@@ -496,28 +616,64 @@ func (f *Fleet) handle(ev *event) error {
 	return fmt.Errorf("fleet: unknown event kind %d", ev.kind)
 }
 
-// tryAdmit places the job on the machine with the most free nodes that can
-// hold it (ties to the lowest machine ID). False means no capacity.
-func (f *Fleet) tryAdmit(job *Job) (bool, error) {
+// logAppend writes one record to the merged log, attributing it to a
+// shard (-1 = router-level records: arrive, queue).
+func (f *Fleet) logAppend(shardID int, rec Record) {
+	f.log.append(rec)
+	if shardID >= 0 {
+		f.shards[shardID].records++
+	}
+}
+
+// bestFit is THE machine-selection rule: the most-free machine that fits
+// the worker demand, ties to the earliest in the slice (= lowest id, as
+// every machine list is id-ascending). The least-loaded router and the
+// shard-level admission both call it, which is what makes their
+// composition pick the same machine for any shard partition — the
+// replay-equivalence tests depend on this staying a single function.
+func bestFit(ms []*machine, workers int) *machine {
 	var best *machine
-	for _, m := range f.machines {
-		if m.freeCount >= job.Workers && job.Workers <= m.topo.NumNodes() {
-			if best == nil || m.freeCount > best.freeCount {
-				best = m
-			}
+	for _, m := range ms {
+		if m.freeCount >= workers && (best == nil || m.freeCount > best.freeCount) {
+			best = m
 		}
 	}
+	return best
+}
+
+// tryAdmit asks the router for a shard, then admits within it: the
+// shard's bestFit machine takes the job, with the admission policy
+// picking the node set. False means no capacity on the routed shard (or
+// nowhere, for the least-loaded router).
+func (f *Fleet) tryAdmit(job *Job) (bool, error) {
+	si := f.router.route(f, job)
+	if si < 0 {
+		return false, nil
+	}
+	s := f.shards[si]
+	best := bestFit(s.machines, job.Workers)
 	if best == nil {
 		return false, nil
 	}
-	return true, f.place(job, best)
+	nodes, err := f.admission.PickNodes(best.topo, best.freeNodes(), job)
+	if err != nil {
+		return false, err
+	}
+	if len(nodes) != job.Workers {
+		return false, fmt.Errorf("fleet: admission policy %s picked %d nodes for a %d-worker job",
+			f.admission.Name(), len(nodes), job.Workers)
+	}
+	if err := best.claim(nodes); err != nil {
+		return false, err
+	}
+	return true, f.place(job, best, nodes)
 }
 
-// place admits the job onto machine m: allocates its nodes, builds the
+// place admits the job onto machine m with the chosen nodes: builds the
 // policy's placer (consulting the tuning cache under bwap), registers the
 // app and performs the initial placement.
-func (f *Fleet) place(job *Job, m *machine) error {
-	nodes := m.allocate(job.Workers)
+func (f *Fleet) place(job *Job, m *machine, nodes []topology.NodeID) error {
+	s := f.shards[m.shard]
 	coRunners := len(m.active)
 
 	var placer sim.Placer
@@ -539,9 +695,9 @@ func (f *Fleet) place(job *Job, m *machine) error {
 			return err
 		}
 		if hit {
-			f.cacheHits++
+			s.cacheHits++
 		} else {
-			f.cacheMisses++
+			s.cacheMisses++
 		}
 		job.CacheHit = hit
 		hitPtr = &hit
@@ -574,13 +730,14 @@ func (f *Fleet) place(job *Job, m *machine) error {
 	job.app = app
 	m.active = append(m.active, job)
 	f.running++
+	s.admitted++
 
 	rec := Record{T: f.now, Type: "admit", Job: job.ID, Machine: m.id,
 		Workload: job.Spec.Name, Nodes: nodeInts(nodes), CacheHit: hitPtr}
 	if f.cfg.Policy == PolicyBWAP {
 		rec.DWP = &dwp
 	}
-	f.log.append(rec)
+	f.logAppend(m.shard, rec)
 	f.scheduleRetune(m)
 	return nil
 }
@@ -589,6 +746,7 @@ func (f *Fleet) place(job *Job, m *machine) error {
 // the engine, and backfills the queue.
 func (f *Fleet) complete(job *Job) error {
 	m := f.machines[job.Machine]
+	s := f.shards[m.shard]
 	job.State = JobDone
 	job.Finish = job.app.FinishTime()
 	m.release(job.Nodes)
@@ -602,7 +760,8 @@ func (f *Fleet) complete(job *Job) error {
 		}
 	}
 	f.running--
-	f.log.append(Record{T: job.Finish, Type: "complete", Job: job.ID, Machine: m.id,
+	s.completed++
+	f.logAppend(m.shard, Record{T: job.Finish, Type: "complete", Job: job.ID, Machine: m.id,
 		Workload: job.Spec.Name, Elapsed: job.Finish - job.Admit})
 	f.scheduleRetune(m)
 
@@ -651,6 +810,7 @@ func (f *Fleet) retune(m *machine) error {
 	if len(m.active) == 0 {
 		return nil
 	}
+	s := f.shards[m.shard]
 	jobs := make([]int, 0, len(m.active))
 	for _, job := range m.active {
 		dwp, hit, err := f.cache.DWP(m.topo, job.Spec, job.Workers, len(m.active)-1)
@@ -658,9 +818,9 @@ func (f *Fleet) retune(m *machine) error {
 			return fmt.Errorf("fleet: retuning job %d: %w", job.ID, err)
 		}
 		if hit {
-			f.cacheHits++
+			s.cacheHits++
 		} else {
-			f.cacheMisses++
+			s.cacheMisses++
 		}
 		canonical, err := f.cache.Canonical(m.topo).Weights(job.Nodes)
 		if err != nil {
@@ -675,7 +835,8 @@ func (f *Fleet) retune(m *machine) error {
 		}
 		jobs = append(jobs, job.ID)
 	}
-	f.log.append(Record{T: f.now, Type: "retune", Machine: m.id, Jobs: jobs})
+	s.retunes++
+	f.logAppend(m.shard, Record{T: f.now, Type: "retune", Machine: m.id, Jobs: jobs})
 	return nil
 }
 

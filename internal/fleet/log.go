@@ -37,8 +37,16 @@ type Record struct {
 	Elapsed  float64  `json:"elapsed,omitempty"`
 }
 
-// eventLog accumulates the JSONL log, optionally mirroring each line to a
-// streaming writer.
+// eventLog accumulates the merged JSONL log, optionally mirroring each
+// line to a streaming writer. With sharding, records belong to per-shard
+// streams (admits, completes and retunes to the owning machine's shard,
+// arrive/queue to the router); the merge is the interleave by the
+// fleet-global sequence number, which is assigned here under the
+// scheduler — handling is serialized even when tick advancement is
+// parallel — so the merged order is total, causal, and independent of
+// shard and worker counts. Shard ids are deliberately absent from the
+// records themselves: a machine's shard changes with Config.Shards, and
+// stamping it would break the shard-count invariance of the log.
 type eventLog struct {
 	buf  bytes.Buffer
 	w    io.Writer

@@ -1,0 +1,99 @@
+package fleet
+
+import "fmt"
+
+// Routing names accepted by Config.Routing.
+const (
+	// RouteLeastLoaded routes each admission attempt to the shard holding
+	// the machine with the most free nodes that fits the job (ties to the
+	// lowest machine id). Because the shard-level machine selection uses
+	// the same rule, the composition picks the *globally* most-free
+	// machine for any shard count — the partition invariance the replay
+	// tests pin.
+	RouteLeastLoaded = "least-loaded"
+	// RouteHashAffinity routes a job to the shard addressed by the FNV-64a
+	// hash of its workload signature. Identical workloads keep landing on
+	// the same machines, which stabilizes their co-runner mixes and so the
+	// tuning-cache contexts they resolve; the assignment is sticky, so a
+	// full shard queues the job rather than spilling it elsewhere.
+	RouteHashAffinity = "hash-affinity"
+	// RouteRoundRobin routes job i to shard (i-1) mod shards — sticky per
+	// job, so queued jobs retry the same shard on backfill.
+	RouteRoundRobin = "round-robin"
+)
+
+// Routing is the fleet's job→shard tier: every admission attempt (fresh
+// arrival or queue backfill) asks the router which shard should try to
+// host the job. route returns -1 when no shard can take the job right now
+// (the job queues). Sticky routers (hash, round-robin) must return the
+// same shard for the same job on every attempt, or backfill order would
+// depend on attempt history.
+type Routing interface {
+	Name() string
+	route(f *Fleet, job *Job) int
+}
+
+// NewRouting builds one of the named routing policies.
+func NewRouting(name string) (Routing, error) {
+	switch name {
+	case RouteLeastLoaded:
+		return leastLoaded{}, nil
+	case RouteHashAffinity:
+		return hashAffinity{}, nil
+	case RouteRoundRobin:
+		return roundRobin{}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown routing %q", name)
+}
+
+// leastLoaded routes to the shard of the fleet-wide bestFit machine —
+// exactly the pre-sharding admission rule, split at the shard boundary.
+// Because shard-level admission applies the same bestFit over the routed
+// shard, the composition selects this very machine for any partition.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return RouteLeastLoaded }
+
+func (leastLoaded) route(f *Fleet, job *Job) int {
+	if m := bestFit(f.machines, job.Workers); m != nil {
+		return m.shard
+	}
+	return -1
+}
+
+// hashAffinity maps the workload signature onto the shard space, using
+// the hash Submit computed once per job (backfill retries this route on
+// every completion, so it must stay cheap).
+type hashAffinity struct{}
+
+func (hashAffinity) Name() string { return RouteHashAffinity }
+
+func (hashAffinity) route(f *Fleet, job *Job) int {
+	return f.staticFit(job, int(job.sigHash%uint64(len(f.shards))))
+}
+
+// roundRobin cycles the arrival stream across shards by job id.
+type roundRobin struct{}
+
+func (roundRobin) Name() string { return RouteRoundRobin }
+
+func (roundRobin) route(f *Fleet, job *Job) int {
+	return f.staticFit(job, (job.ID-1)%len(f.shards))
+}
+
+// staticFit keeps a sticky route deterministic on heterogeneous fleets: if
+// no machine of the preferred shard is large enough to *ever* host the
+// job, it walks forward to the first shard where one is. (Submit already
+// guarantees some machine fits.) Current occupancy is deliberately
+// ignored — sticky routes queue rather than spill.
+func (f *Fleet) staticFit(job *Job, si int) int {
+	for off := 0; off < len(f.shards); off++ {
+		s := f.shards[(si+off)%len(f.shards)]
+		for _, m := range s.machines {
+			if job.Workers <= m.topo.NumNodes() {
+				return s.id
+			}
+		}
+	}
+	return -1
+}

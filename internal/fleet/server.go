@@ -27,7 +27,8 @@ import (
 //	GET  /status?id=N → one job
 //	GET  /jobs        → every job
 //	GET  /fleet       → Stats
-//	GET  /log         → the JSONL event log
+//	GET  /shards      → per-shard ShardStat slice
+//	GET  /log         → the merged JSONL event log
 //	GET  /healthz     → 200 ok
 type Server struct {
 	mu    sync.Mutex
@@ -83,7 +84,7 @@ func (s *Server) drive() {
 			s.mu.Lock()
 			// Freeze virtual time while idle: an empty daemon stays at a
 			// reproducible clock instead of burning ticks.
-			busy := s.fleet.running > 0 || s.fleet.events.Len() > 0
+			busy := s.fleet.running > 0 || s.fleet.pendingEvents() > 0
 			if busy {
 				if err := s.fleet.Advance(s.SimRate * s.Tick.Seconds()); err != nil && s.driveErr == nil {
 					s.driveErr = err
@@ -149,6 +150,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/shards", s.handleShards)
 	mux.HandleFunc("/log", s.handleLog)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
@@ -270,6 +272,12 @@ func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
 		resp.DriverError = s.driveErr.Error()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.fleet.ShardStats())
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {

@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -20,6 +21,12 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 		SimCfg:     sim.Config{Seed: 21},
 		Policy:     PolicyBWAP,
 		Seed:       21,
+		// Full-volume probes: on the small test machine a default-scale
+		// probe finishes in well under a millisecond, which puts the
+		// miss-vs-hit latency comparison inside scheduler noise on a
+		// loaded single-core runner. Full volume keeps the probe an
+		// order of magnitude above the noise floor.
+		ProbeWorkScale: 1,
 	}
 	f, err := New(cfg)
 	if err != nil {
@@ -125,6 +132,99 @@ func TestServerConcurrentSubmissions(t *testing.T) {
 	}
 	if hits != n-1 {
 		t.Fatalf("%d jobs hit the cache, want %d", hits, n-1)
+	}
+}
+
+// TestServerShardedConcurrentLoad is the stats-race audit test: submits
+// stream in from several goroutines while pollers hammer every read
+// endpoint — /fleet and /shards read counters the advancing scheduler and
+// its shard workers mutate, so any counter not guarded by the scheduler
+// mutex plus the per-tick shard barrier is a -race failure here (CI runs
+// this package with -race).
+func TestServerShardedConcurrentLoad(t *testing.T) {
+	cfg := Config{
+		Machines:   4,
+		Shards:     2,
+		Workers:    2,
+		NewMachine: smallMachine,
+		SimCfg:     sim.Config{Seed: 33},
+		Policy:     PolicyBWAP,
+		Seed:       33,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(f)
+	s.SimRate = 2000
+	ts := httptest.NewServer(s.Handler())
+	s.Start()
+	t.Cleanup(func() { ts.Close(); s.Stop() })
+
+	const body = `{"spec":{"Name":"loadjob","ReadGBs":10,"WriteGBs":1,"PrivateFrac":0.3,
+"LatencySensitivity":0.2,"SyncFactor":0.1,"WorkGB":400,"SharedGB":0.25,"PrivateGBPerNode":0.1},
+"workers":2,"work_scale":0.05}`
+	const jobs = 8
+
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for _, path := range []string{"/fleet", "/shards", "/jobs", "/log", "/healthz", "/status?id=1"} {
+		pollers.Add(1)
+		go func(path string) {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}(path)
+	}
+
+	var submitters sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		submitters.Add(1)
+		go func() {
+			defer submitters.Done()
+			for j := 0; j < jobs/4; j++ {
+				postSubmit(t, ts.URL, body)
+			}
+		}()
+	}
+	submitters.Wait()
+
+	deadline := time.Now().Add(30 * time.Second)
+	var stats Stats
+	for {
+		getJSON(t, ts.URL+"/fleet", &stats)
+		if stats.Completed == jobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream did not drain under load: %+v", stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	pollers.Wait()
+
+	var shards []ShardStat
+	getJSON(t, ts.URL+"/shards", &shards)
+	if len(shards) != 2 {
+		t.Fatalf("/shards returned %d entries, want 2", len(shards))
+	}
+	completed := 0
+	for _, sh := range shards {
+		completed += sh.Completed
+	}
+	if completed != jobs {
+		t.Fatalf("shard completions sum to %d, want %d", completed, jobs)
 	}
 }
 

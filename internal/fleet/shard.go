@@ -1,0 +1,172 @@
+package fleet
+
+import "sort"
+
+// shard is one independently advanced slice of the fleet: a fixed machine
+// set (global ids preserved, assigned round-robin by id so heterogeneous
+// fleets stay balanced), its own event heap for machine-scoped events
+// (completions, retunes), a mirror of the lockstep clock, and shard-local
+// statistics.
+//
+// Concurrency contract — the "shard barrier" every counter hides behind:
+// worker goroutines touch a shard only inside advanceParallel's per-tick
+// window (between the wake send and the done reply), and the scheduler
+// touches shards only outside those windows. Everything a worker mutates
+// (engines, busyNodeSeconds, the completion scratch, now) is therefore
+// exclusively owned at every instant, and Stats/ShardStats — which run
+// under the server mutex, never concurrently with an Advance — read only
+// quiescent state. The -race HTTP load test pins this.
+type shard struct {
+	id       int
+	machines []*machine // ascending global id
+	events   eventHeap  // completions + retunes for these machines
+	now      float64
+	nodes    int
+
+	// Written by the owning worker during the tick window.
+	busyNodeSeconds float64
+	comps           []*Job // completions found this tick, machine-ascending
+
+	// Written by the scheduler between windows.
+	admitted, completed, retunes int
+	records                      int
+	cacheHits, cacheMisses       int64
+}
+
+// tick advances every engine of the shard by one step, charges busy-node
+// time, and collects jobs that completed during the step. Runs either on
+// the scheduler goroutine (serial mode) or on the shard's worker between
+// barriers (parallel mode). The shard clock mirror (s.now) is maintained
+// by advanceTo on the scheduler goroutine, not here, so the lockstep
+// clock has exactly one accumulation sequence.
+func (s *shard) tick(dt float64) {
+	for _, m := range s.machines {
+		m.eng.Step()
+		s.busyNodeSeconds += float64(len(m.free)-m.freeCount) * dt
+	}
+	for _, m := range s.machines {
+		for _, j := range m.active {
+			if !j.seen && j.app.Done() {
+				j.seen = true
+				s.comps = append(s.comps, j)
+			}
+		}
+	}
+}
+
+// running counts the shard's currently placed jobs.
+func (s *shard) running() int {
+	n := 0
+	for _, m := range s.machines {
+		n += len(m.active)
+	}
+	return n
+}
+
+// gatherComps drains every shard's per-tick completion scratch into one
+// slice ordered by (machine id, admission order) — the exact order the
+// pre-sharding scan produced, so completion events get the same sequence
+// numbers regardless of how machines are partitioned.
+func (f *Fleet) gatherComps() []*Job {
+	total := 0
+	for _, s := range f.shards {
+		total += len(s.comps)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*Job, 0, total)
+	for _, s := range f.shards {
+		out = append(out, s.comps...)
+		s.comps = s.comps[:0]
+	}
+	// Each shard's scratch is already machine-ascending; a stable sort
+	// across shards keeps the per-machine admission order intact.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
+}
+
+// advanceSerial is the single-worker tick loop: every shard advanced on
+// the scheduler goroutine, stopping at the first tick that completes a
+// job.
+func (f *Fleet) advanceSerial(t float64) []*Job {
+	for f.now+f.eps() < t {
+		for _, s := range f.shards {
+			s.tick(f.dt)
+		}
+		f.now += f.dt
+		if comps := f.gatherComps(); len(comps) > 0 {
+			return comps
+		}
+	}
+	return nil
+}
+
+// tickPool is the bounded worker pool advancing shards in parallel:
+// worker w owns shards w, w+W, ... and sleeps on its wake channel between
+// ticks. The pool is created lazily by the first parallel advance of a
+// run() invocation and torn down when run() returns, so its lifetime
+// spans many inter-event advances instead of one goroutine spawn per
+// event gap.
+type tickPool struct {
+	wake []chan struct{}
+	done chan int
+}
+
+func (f *Fleet) ensurePool() *tickPool {
+	if f.pool != nil {
+		return f.pool
+	}
+	nw := f.workers
+	p := &tickPool{wake: make([]chan struct{}, nw), done: make(chan int, nw)}
+	for w := 0; w < nw; w++ {
+		p.wake[w] = make(chan struct{})
+		go func(w int) {
+			for range p.wake[w] {
+				for si := w; si < len(f.shards); si += nw {
+					f.shards[si].tick(f.dt)
+				}
+				p.done <- w
+			}
+		}(w)
+	}
+	f.pool = p
+	return p
+}
+
+// stopPool releases the pool's workers; the wake-channel close makes each
+// goroutine's range loop exit.
+func (f *Fleet) stopPool() {
+	if f.pool == nil {
+		return
+	}
+	for _, c := range f.pool.wake {
+		close(c)
+	}
+	f.pool = nil
+}
+
+// advanceParallel runs the same loop as advanceSerial with the shards
+// spread over the worker pool. Each simulated tick is a barrier: the
+// scheduler wakes every worker, each advances its shards one step, and
+// the tick ends only when all have replied — so no shard ever runs
+// ahead, and completion events are gathered from quiescent state.
+// Determinism does not depend on the worker count: shards share no state,
+// the clock advances on the scheduler goroutine, and gatherComps orders
+// completions by machine id.
+func (f *Fleet) advanceParallel(t float64) []*Job {
+	p := f.ensurePool()
+	for f.now+f.eps() < t {
+		for _, c := range p.wake {
+			c <- struct{}{}
+		}
+		for i := 0; i < len(p.wake); i++ {
+			<-p.done
+		}
+		f.now += f.dt
+		if comps := f.gatherComps(); len(comps) > 0 {
+			return comps
+		}
+	}
+	return nil
+}

@@ -5,8 +5,15 @@ package fleet
 type Stats struct {
 	// Policy is the placement policy in force.
 	Policy string `json:"policy"`
-	// Machines is the fleet size.
+	// Routing and Admission name the job→shard tier and the node-selection
+	// policy.
+	Routing   string `json:"routing"`
+	Admission string `json:"admission"`
+	// Machines is the fleet size; Shards the partition count; Workers the
+	// advance pool bound.
 	Machines int `json:"machines"`
+	Shards   int `json:"shards"`
+	Workers  int `json:"workers"`
 	// SimTime is the current simulated time.
 	SimTime float64 `json:"sim_time"`
 
@@ -30,23 +37,60 @@ type Stats struct {
 	Utilization float64 `json:"utilization"`
 
 	// CacheHits/CacheMisses count this fleet's tuning-cache lookups
-	// (admissions and retunes, bwap policy only).
+	// (admissions and retunes, bwap policy only), summed over shards.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	// LogRecords is the number of event-log lines written.
 	LogRecords int `json:"log_records"`
 }
 
+// ShardStat is one shard's slice of the fleet counters, serialized by the
+// daemon's /shards endpoint. All fields are maintained by the scheduler or
+// behind the per-tick barrier, so a snapshot taken between Advance calls
+// is consistent.
+type ShardStat struct {
+	// Shard is the shard id; Machines the global machine ids it owns.
+	Shard    int   `json:"shard"`
+	Machines []int `json:"machines"`
+	// Nodes is the shard's total NUMA-node count.
+	Nodes int `json:"nodes"`
+	// SimTime mirrors the lockstep clock.
+	SimTime float64 `json:"sim_time"`
+	// Running/Admitted/Completed/Retunes count this shard's share of the
+	// stream.
+	Running   int `json:"running"`
+	Admitted  int `json:"admitted"`
+	Completed int `json:"completed"`
+	Retunes   int `json:"retunes"`
+	// Utilization is the shard's busy-node-seconds fraction.
+	Utilization float64 `json:"utilization"`
+	// CacheHits/CacheMisses count tuning-cache lookups attributed to this
+	// shard's admissions and retunes.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// LogRecords counts merged-log lines attributed to this shard
+	// (arrive/queue records are router-level and belong to none).
+	LogRecords int `json:"log_records"`
+}
+
 // Stats computes the current snapshot.
 func (f *Fleet) Stats() *Stats {
 	s := &Stats{
-		Policy:      f.cfg.Policy,
-		Machines:    len(f.machines),
-		SimTime:     f.now,
-		Jobs:        len(f.jobs),
-		CacheHits:   f.cacheHits,
-		CacheMisses: f.cacheMisses,
-		LogRecords:  f.log.seq,
+		Policy:     f.cfg.Policy,
+		Routing:    f.router.Name(),
+		Admission:  f.admission.Name(),
+		Machines:   len(f.machines),
+		Shards:     len(f.shards),
+		Workers:    f.workers,
+		SimTime:    f.now,
+		Jobs:       len(f.jobs),
+		LogRecords: f.log.seq,
+	}
+	busy := 0.0
+	for _, sh := range f.shards {
+		s.CacheHits += sh.cacheHits
+		s.CacheMisses += sh.cacheMisses
+		busy += sh.busyNodeSeconds
 	}
 	var wait, run, turn float64
 	for _, j := range f.jobs {
@@ -72,7 +116,34 @@ func (f *Fleet) Stats() *Stats {
 	}
 	if f.now > 0 {
 		s.ThroughputJobsPerSec = float64(s.Completed) / f.now
-		s.Utilization = f.busyNodeSeconds / (f.now * float64(f.totalNodes))
+		s.Utilization = busy / (f.now * float64(f.totalNodes))
 	}
 	return s
+}
+
+// ShardStats snapshots every shard's counters, by shard id.
+func (f *Fleet) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(f.shards))
+	for i, sh := range f.shards {
+		st := ShardStat{
+			Shard:       sh.id,
+			Nodes:       sh.nodes,
+			SimTime:     sh.now,
+			Running:     sh.running(),
+			Admitted:    sh.admitted,
+			Completed:   sh.completed,
+			Retunes:     sh.retunes,
+			CacheHits:   sh.cacheHits,
+			CacheMisses: sh.cacheMisses,
+			LogRecords:  sh.records,
+		}
+		for _, m := range sh.machines {
+			st.Machines = append(st.Machines, m.id)
+		}
+		if f.now > 0 && sh.nodes > 0 {
+			st.Utilization = sh.busyNodeSeconds / (f.now * float64(sh.nodes))
+		}
+		out[i] = st
+	}
+	return out
 }

@@ -37,22 +37,49 @@ func BestWorkerSet(m *topology.Machine, k int) ([]topology.NodeID, error) {
 	if k <= 0 || k > n {
 		return nil, fmt.Errorf("sched: worker count %d out of [1,%d]", k, n)
 	}
+	all := make([]topology.NodeID, n)
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	return BestWorkerSubset(m, all, k)
+}
+
+// BestWorkerSubset is BestWorkerSet restricted to a candidate node list —
+// how a fleet admission policy picks the highest-bandwidth worker set
+// among a machine's currently *free* nodes. Candidates are combined in
+// the order given; with an ascending list, ties resolve to the
+// lexicographically smallest set, matching BestWorkerSet.
+func BestWorkerSubset(m *topology.Machine, avail []topology.NodeID, k int) ([]topology.NodeID, error) {
+	return BestScoredSubset(avail, k, func(sub []topology.NodeID) float64 {
+		return InterWorkerBW(m, sub)
+	})
+}
+
+// BestScoredSubset enumerates the k-element subsets of avail in
+// lexicographic (candidate-order) position and returns the one maximizing
+// score, keeping the earliest subset on ties — the deterministic
+// tie-break every placement caller relies on. Scores may be negative; the
+// first subset evaluated always seeds the maximum.
+func BestScoredSubset(avail []topology.NodeID, k int, score func([]topology.NodeID) float64) ([]topology.NodeID, error) {
+	if k <= 0 || k > len(avail) {
+		return nil, fmt.Errorf("sched: worker count %d out of [1,%d]", k, len(avail))
+	}
 	var best []topology.NodeID
-	bestScore := -1.0
+	bestScore := 0.0
 	cur := make([]topology.NodeID, 0, k)
 	var rec func(start int)
 	rec = func(start int) {
 		if len(cur) == k {
-			if score := InterWorkerBW(m, cur); score > bestScore+1e-12 {
-				bestScore = score
-				best = append([]topology.NodeID(nil), cur...)
+			if s := score(cur); best == nil || s > bestScore+1e-12 {
+				bestScore = s
+				best = append(best[:0], cur...)
 			}
 			return
 		}
-		// Prune: not enough nodes left.
+		// Prune: not enough candidates left.
 		need := k - len(cur)
-		for i := start; i <= n-need; i++ {
-			cur = append(cur, topology.NodeID(i))
+		for i := start; i <= len(avail)-need; i++ {
+			cur = append(cur, avail[i])
 			rec(i + 1)
 			cur = cur[:len(cur)-1]
 		}

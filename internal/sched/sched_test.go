@@ -68,6 +68,49 @@ func TestBestWorkerSetDeterministic(t *testing.T) {
 	}
 }
 
+func TestBestWorkerSubsetRestrictsToCandidates(t *testing.T) {
+	m := topology.MachineA()
+	// The global best pair is a same-package pair; exclude both members of
+	// every same-package pair's low half and the subset search must pick
+	// the best pair among what remains.
+	avail := []topology.NodeID{1, 3, 4, 6}
+	w, err := BestWorkerSubset(m, avail, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[topology.NodeID]bool{1: true, 3: true, 4: true, 6: true}
+	for _, n := range w {
+		if !in[n] {
+			t.Fatalf("BestWorkerSubset chose %v outside candidates %v", w, avail)
+		}
+	}
+	// Agreement with the unrestricted search when every node is available.
+	all := []topology.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	ws, err := BestWorkerSubset(m, all, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := BestWorkerSet(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wf {
+		if ws[i] != wf[i] {
+			t.Fatalf("full-candidate subset %v != BestWorkerSet %v", ws, wf)
+		}
+	}
+}
+
+func TestBestWorkerSubsetErrors(t *testing.T) {
+	m := topology.MachineB()
+	if _, err := BestWorkerSubset(m, []topology.NodeID{0, 1}, 3); err == nil {
+		t.Fatal("k > len(avail) accepted")
+	}
+	if _, err := BestWorkerSubset(m, nil, 1); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}
+
 func TestInterWorkerBWSymmetricMachine(t *testing.T) {
 	m := topology.Symmetric(4, 4, 20, 10)
 	// Any pair scores 2×10 on a symmetric machine.
