@@ -302,8 +302,16 @@ type ArrivalSpec = workload.ArrivalSpec
 
 // TuningCache memoizes BWAP placement decisions across jobs, keyed by
 // (topology fingerprint × workload signature × worker count × co-runner
-// count), with single-flight probing.
+// count), with single-flight probing. It is durable (Save/LoadInto a
+// versioned snapshot file) and optionally LRU-bounded.
 type TuningCache = fleet.TuningCache
+
+// TuningCacheOption configures a TuningCache at construction.
+type TuningCacheOption = fleet.TuningCacheOption
+
+// TuningCacheStats is the cache's cumulative accounting (misses = probe
+// runs; restored = entries loaded from a snapshot).
+type TuningCacheStats = fleet.TuningCacheStats
 
 // NewFleet builds a fleet of simulated NUMA machines serving a job stream.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
@@ -312,13 +320,33 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 func NewFleetServer(f *Fleet) *FleetServer { return fleet.NewServer(f) }
 
 // NewTuningCache returns a tuning cache shareable across fleets and
-// daemons.
-func NewTuningCache(simCfg Config, probeScale float64, seed uint64) *TuningCache {
-	return fleet.NewTuningCache(simCfg, probeScale, seed)
+// daemons. By default failed probes are forgotten (retried on the next
+// lookup) and the cache is unbounded; see CacheMaxEntries and CacheErrors.
+func NewTuningCache(simCfg Config, probeScale float64, seed uint64, opts ...TuningCacheOption) *TuningCache {
+	return fleet.NewTuningCache(simCfg, probeScale, seed, opts...)
 }
+
+// CacheMaxEntries bounds a tuning cache's placement entries with LRU
+// eviction (n <= 0 keeps it unbounded).
+func CacheMaxEntries(n int) TuningCacheOption { return fleet.CacheMaxEntries(n) }
+
+// CacheErrors memoizes failed probes forever — the strict first-outcome-
+// is-the-outcome behaviour replay determinism wants.
+func CacheErrors() TuningCacheOption { return fleet.CacheErrors() }
 
 // DecodeFleetLog parses a fleet's JSONL event log for replay verification.
 func DecodeFleetLog(data []byte) ([]FleetRecord, error) { return fleet.DecodeLog(data) }
+
+// TraceArrival builds the arrival spec that replays explicit recorded
+// timestamps verbatim — the trace-driven stream source.
+func TraceArrival(times []float64) ArrivalSpec { return workload.TraceArrival(times) }
+
+// ReadFleetTrace parses a fleet's JSONL event log back into trace-driven
+// stream specs, so a recorded stream can be resubmitted and replayed.
+// resolve maps workload names to specs; nil selects WorkloadByName.
+func ReadFleetTrace(data []byte, resolve func(name string) (Spec, error)) ([]StreamSpec, error) {
+	return fleet.ReadTrace(data, resolve)
+}
 
 type coRunnerError string
 

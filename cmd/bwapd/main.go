@@ -10,6 +10,14 @@
 // fleet section of DESIGN.md for the event model and the replayable JSONL
 // log format.
 //
+// The tuning cache is durable: -cache-file loads a snapshot on boot (warm
+// start — repeated workload signatures skip re-profiling across restarts)
+// and persists it on SIGINT/SIGTERM; -cache-max-entries adds an LRU bound.
+// With -replay the daemon does not serve at all: it reads a recorded JSONL
+// event log, resubmits the stream at its recorded timestamps against a
+// fresh fleet (warmed from -cache-file when given), prints the cache
+// economics and exits.
+//
 // Usage:
 //
 //	bwapd                                   # 2× Machine B fleet on :8080
@@ -17,6 +25,8 @@
 //	bwapd -machines 8 -shards 4 -shard-workers 4   # multi-core tick advance
 //	bwapd -routing hash-affinity -admission best-bandwidth
 //	bwapd -log fleet-events.jsonl           # mirror the event log to disk
+//	bwapd -cache-file tuning.json           # warm-startable tuning cache
+//	bwapd -replay fleet-events.jsonl -cache-file tuning.json
 //
 // Endpoints:
 //
@@ -30,10 +40,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bwap/internal/fleet"
 	"bwap/internal/sim"
@@ -54,6 +69,10 @@ func main() {
 	probeScale := flag.Float64("probe-scale", fleet.DefaultProbeWorkScale, "tuning-probe work fraction")
 	retune := flag.Float64("retune-delay", 0.5, "simulated seconds after churn before co-located jobs are re-tuned (negative disables)")
 	logPath := flag.String("log", "", "mirror the JSONL event log to this file")
+	cacheFile := flag.String("cache-file", "", "tuning-cache snapshot: loaded on boot if present, saved on shutdown")
+	cacheMax := flag.Int("cache-max-entries", 0, "LRU bound on cached placements (0 = unbounded)")
+	maxQueue := flag.Int("max-queue", 0, "reject submissions once this many jobs wait for admission (0 = unbounded)")
+	replayPath := flag.String("replay", "", "replay a recorded JSONL event log instead of serving, then exit")
 	flag.Parse()
 
 	var newMachine func(int) *topology.Machine
@@ -67,6 +86,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	var cacheOpts []fleet.TuningCacheOption
+	if *cacheMax > 0 {
+		cacheOpts = append(cacheOpts, fleet.CacheMaxEntries(*cacheMax))
+	}
+	cache := fleet.NewTuningCache(sim.Config{Seed: *seed}, *probeScale, *seed, cacheOpts...)
+	if *cacheFile != "" {
+		switch n, err := cache.LoadInto(*cacheFile); {
+		case err == nil:
+			fmt.Printf("bwapd: warm start — restored %d cached placements from %s\n", n, *cacheFile)
+		case os.IsNotExist(err):
+			fmt.Printf("bwapd: cold start — %s will be written on shutdown\n", *cacheFile)
+		default:
+			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	cfg := fleet.Config{
 		Machines:       *machines,
 		Shards:         *shards,
@@ -77,9 +113,23 @@ func main() {
 		SimCfg:         sim.Config{Seed: *seed},
 		Policy:         *policy,
 		RetuneDelay:    *retune,
+		MaxQueue:       *maxQueue,
 		Seed:           *seed,
 		ProbeWorkScale: *probeScale,
+		Cache:          cache,
 	}
+
+	// The replay input is read before -log opens anything, so -log pointing
+	// at the same file (under any alias) can never truncate it unread.
+	var replayData []byte
+	if *replayPath != "" {
+		var err error
+		if replayData, err = os.ReadFile(*replayPath); err != nil {
+			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
 		if err != nil {
@@ -90,6 +140,16 @@ func main() {
 		cfg.LogW = f
 	}
 
+	if *replayPath != "" {
+		// -log applies here too: the replayed run regenerates its own
+		// event log, mirrored like the serve path's.
+		if err := replay(cfg, *replayPath, replayData, *cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fl, err := fleet.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
@@ -98,12 +158,79 @@ func main() {
 	srv := fleet.NewServer(fl)
 	srv.SimRate = *simRate
 	srv.Start()
-	defer srv.Stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// Bounded drain: in-flight requests (a probe mid-run) get a grace
+		// window, but a stalled client must not hold up the shutdown path
+		// the cache save depends on.
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelDrain()
+		httpSrv.Shutdown(drainCtx) //nolint:errcheck // exiting anyway
+	}()
 
 	fmt.Printf("bwapd: %d× machine %s fleet (%d shards), policy %s, routing %s, admission %s, listening on %s\n",
 		*machines, *machine, *shards, *policy, *routing, *admission, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	err = httpSrv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
 		os.Exit(1)
 	}
+	// ListenAndServe returns the instant Shutdown is called; wait for the
+	// drain to finish so the snapshot includes entries from requests that
+	// were still in flight at the signal.
+	cancel()
+	<-drained
+	srv.Stop()
+	if *cacheFile != "" {
+		if err := cache.Save(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bwapd: saved %d cached placements to %s\n", cache.Stats().Entries, *cacheFile)
+	}
+}
+
+// replay runs a recorded event log (already read into data) through a
+// fresh fleet at its recorded timestamps — the daemon's own logs as input
+// streams. With a cache file the fleet starts warm and repeated signatures
+// run zero probes; the updated cache is saved back afterwards.
+func replay(cfg fleet.Config, logPath string, data []byte, cacheFile string) error {
+	streams, err := fleet.ReadTrace(data, nil)
+	if err != nil {
+		return err
+	}
+	jobs := 0
+	for _, s := range streams {
+		jobs += len(s.Arrival.Trace)
+	}
+	fl, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := fl.SubmitStream(streams); err != nil {
+		return err
+	}
+	stats, err := fl.Run()
+	if err != nil {
+		return err
+	}
+	cs := fl.Cache().Stats()
+	fmt.Printf("bwapd: replayed %d jobs (%d classes) from %s\n", jobs, len(streams), logPath)
+	fmt.Printf("bwapd: mean turnaround %.1fs, mean wait %.1fs, utilization %.1f%%\n",
+		stats.MeanTurnaround, stats.MeanWait, 100*stats.Utilization)
+	fmt.Printf("bwapd: cache — hits %d, probes %d, restored %d, evictions %d, entries %d\n",
+		cs.Hits, cs.Misses, cs.Restored, cs.Evictions, cs.Entries)
+	if cacheFile != "" {
+		if err := fl.Cache().Save(cacheFile); err != nil {
+			return err
+		}
+		fmt.Printf("bwapd: saved %d cached placements to %s\n", fl.Cache().Stats().Entries, cacheFile)
+	}
+	return nil
 }

@@ -2,6 +2,8 @@ package cache
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -45,6 +47,197 @@ func TestErrorsAreCached(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("failed compute ran %d times, want 1 (errors are cached)", calls)
+	}
+}
+
+// TestForgetErrorsRetries is the error-poisoning regression test: with
+// ForgetErrors a failing compute is retried on the next Get, and a
+// succeeding one is still computed exactly once.
+func TestForgetErrorsRetries(t *testing.T) {
+	c := New[int](ForgetErrors())
+	boom := errors.New("boom")
+	calls := 0
+	// First attempt fails and must not be memoized.
+	if _, _, err := c.Get("flaky", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Get err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after a forgotten error, want 0", c.Len())
+	}
+	// Retry succeeds; the success is memoized.
+	for i := 0; i < 3; i++ {
+		v, hit, err := c.Get("flaky", func() (int, error) { calls++; return 9, nil })
+		if err != nil || v != 9 {
+			t.Fatalf("retry %d: Get = %d, %v", i, v, err)
+		}
+		if wantHit := i > 0; hit != wantHit {
+			t.Fatalf("retry %d: hit = %v, want %v", i, hit, wantHit)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (one failure retried, one success cached)", calls)
+	}
+}
+
+// TestLRUEvictionOrder pins the basic LRU contract: touching an entry
+// protects it, the least recently used completed entry goes first, and
+// evictions are counted.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[string](MaxEntries(3))
+	get := func(k string) bool {
+		_, hit, err := c.Get(k, func() (string, error) { return "v-" + k, nil })
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		return hit
+	}
+	get("a")
+	get("b")
+	get("c")
+	get("a") // refresh a: LRU order is now a, c, b
+	get("d") // exceeds the bound; b, the least recently used, must go
+	if get("b") {
+		t.Fatal("b survived eviction; LRU order not honoured")
+	}
+	// The b lookup recomputed b, pushing the cache over the bound again and
+	// evicting c (a and d were both touched more recently).
+	if !get("a") || !get("d") {
+		t.Fatal("recently used entry was evicted")
+	}
+	if c.Evictions() < 1 {
+		t.Fatalf("Evictions = %d, want >= 1", c.Evictions())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want the bound 3", c.Len())
+	}
+}
+
+// TestLRUEvictionProperty runs a randomized access sequence against a
+// reference LRU model: the cache's hit/miss outcome must match the model's
+// containment on every access.
+func TestLRUEvictionProperty(t *testing.T) {
+	const bound, keys, accesses = 5, 12, 2000
+	c := New[int](MaxEntries(bound))
+	rng := rand.New(rand.NewSource(42))
+
+	// Reference model: slice ordered most-recent-first.
+	var model []string
+	touch := func(k string) bool {
+		for i, mk := range model {
+			if mk == k {
+				model = append(model[:i], model[i+1:]...)
+				model = append([]string{k}, model...)
+				return true
+			}
+		}
+		model = append([]string{k}, model...)
+		if len(model) > bound {
+			model = model[:bound]
+		}
+		return false
+	}
+
+	for i := 0; i < accesses; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(keys))
+		wantHit := touch(k)
+		_, hit, err := c.Get(k, func() (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != wantHit {
+			t.Fatalf("access %d (%s): hit = %v, model says %v", i, k, hit, wantHit)
+		}
+		if c.Len() > bound {
+			t.Fatalf("access %d: Len = %d exceeds bound %d with no compute in flight", i, c.Len(), bound)
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("property run produced no evictions; bound never engaged")
+	}
+}
+
+// TestSnapshotRestoreRoundTrip serializes a populated cache and reloads it
+// into a fresh one: every restored key must hit without recomputing, the
+// restored count must be reported, and failed/in-flight entries must not
+// travel.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := New[float64](ForgetErrors())
+	for i, k := range []string{"x", "y", "z"} {
+		if _, _, err := src.Get(k, func() (float64, error) { return float64(i) + 0.5, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A failed entry is forgotten and must not appear in the snapshot.
+	src.Get("bad", func() (float64, error) { return 0, errors.New("boom") }) //nolint:errcheck
+
+	data, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New[float64]()
+	n, err := dst.Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || dst.Restored() != 3 {
+		t.Fatalf("restored %d (counter %d), want 3", n, dst.Restored())
+	}
+	for i, k := range []string{"x", "y", "z"} {
+		v, hit, err := dst.Get(k, func() (float64, error) {
+			t.Fatalf("restored key %q recomputed", k)
+			return 0, nil
+		})
+		if err != nil || !hit || v != float64(i)+0.5 {
+			t.Fatalf("Get(%q) = %g hit=%v err=%v", k, v, hit, err)
+		}
+	}
+	if _, hit, _ := dst.Get("bad", func() (float64, error) { return 1, nil }); hit {
+		t.Fatal("failed entry travelled through the snapshot")
+	}
+
+	// Version mismatches are rejected.
+	if _, err := dst.Restore([]byte(`{"version":99,"entries":[]}`)); err == nil {
+		t.Fatal("Restore accepted an unknown snapshot version")
+	}
+	if _, err := dst.Restore([]byte(`not json`)); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+}
+
+// TestRestorePreservesLRUOrder checks that a bounded cache evicts restored
+// entries before live ones, and restored entries among themselves in
+// snapshot (recency) order.
+func TestRestorePreservesLRUOrder(t *testing.T) {
+	src := New[int]()
+	for _, k := range []string{"old", "mid", "new"} {
+		k := k
+		src.Get(k, func() (int, error) { return len(k), nil }) //nolint:errcheck
+	}
+	src.Get("mid", func() (int, error) { return 0, nil }) //nolint:errcheck
+	src.Get("new", func() (int, error) { return 0, nil }) //nolint:errcheck
+	// LRU order in src is now new, mid, old (most recent first).
+
+	data, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New[int](MaxEntries(3))
+	dst.Get("live", func() (int, error) { return 1, nil }) //nolint:errcheck
+	// Bound 3 with 1 live + 3 snapshot entries: "old" (least recent of the
+	// snapshot, behind the live entry) is evicted during the load, and only
+	// the survivors are counted as restored.
+	if n, err := dst.Restore(data); err != nil || n != 2 {
+		t.Fatalf("Restore = %d, %v; want 2 survivors", n, err)
+	}
+	if dst.Restored() != 2 || dst.Evictions() != 1 {
+		t.Fatalf("restored %d / evictions %d, want 2 / 1", dst.Restored(), dst.Evictions())
+	}
+	if _, hit, _ := dst.Get("live", func() (int, error) { return 1, nil }); !hit {
+		t.Fatal("live entry evicted in favour of a restored one")
+	}
+	if _, hit, _ := dst.Get("old", func() (int, error) { return 0, nil }); hit {
+		t.Fatal("least-recent snapshot entry survived past the bound")
 	}
 }
 

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bwap/internal/fleet"
+	"bwap/internal/sim"
+	"bwap/internal/topology"
+)
+
+// The replay scenario closes the loop the paper's economics imply: a
+// workload's bandwidth-aware placement is computed once and reused. A
+// recorded Poisson job stream (the fleet scenario's mix) is replayed twice
+// from its own JSONL event log — once against a cold tuning cache, which
+// re-runs every profiling probe, and once against a cache warmed from the
+// recorded run's snapshot, which runs none. Simulated turnaround is
+// identical by determinism (same placements either way); what the snapshot
+// buys is admission latency — the wall-clock probe work at placement time —
+// so the table reports probe counts and wall time per phase.
+
+// ReplayResult is one phase of the scenario.
+type ReplayResult struct {
+	// Phase labels the run: recorded, replay-cold, replay-warm.
+	Phase string
+	// Stats is the fleet outcome of the phase.
+	Stats *fleet.Stats
+	// Cache is the phase's tuning-cache accounting (Misses = probe runs).
+	Cache fleet.TuningCacheStats
+	// WallMS is the wall-clock time of the fleet run, dominated by probes.
+	WallMS float64
+}
+
+// ReplayTable is the rendered scenario.
+type ReplayTable struct {
+	Title   string
+	Jobs    int
+	Classes int
+	Results []ReplayResult
+}
+
+// replayConfig is the shared fleet configuration of every phase; only the
+// cache differs.
+func replayConfig(machines int, cache *fleet.TuningCache) fleet.Config {
+	return fleet.Config{
+		Machines:   machines,
+		NewMachine: func(int) *topology.Machine { return topology.MachineB() },
+		SimCfg:     sim.Config{Seed: 1},
+		Policy:     fleet.PolicyBWAP,
+		Seed:       1,
+		Cache:      cache,
+	}
+}
+
+// RunReplay records a Poisson stream, snapshots the tuning cache, and
+// replays the stream from its own event log cold and snapshot-warmed.
+// quick shrinks the stream for tests and CI.
+func RunReplay(quick bool) (*ReplayTable, error) {
+	machines := 4
+	jobsPerClass := 6
+	workScale := 0.05
+	if quick {
+		machines = 2
+		jobsPerClass = 2
+		workScale = 0.03
+	}
+	streams := fleetStream(jobsPerClass, workScale)
+
+	runPhase := func(phase string, cache *fleet.TuningCache, submit func(f *fleet.Fleet) error) (*fleet.Fleet, ReplayResult, error) {
+		f, err := fleet.New(replayConfig(machines, cache))
+		if err != nil {
+			return nil, ReplayResult{}, err
+		}
+		if err := submit(f); err != nil {
+			return nil, ReplayResult{}, err
+		}
+		start := time.Now()
+		stats, err := f.Run()
+		if err != nil {
+			return nil, ReplayResult{}, fmt.Errorf("replay phase %s: %w", phase, err)
+		}
+		return f, ReplayResult{
+			Phase:  phase,
+			Stats:  stats,
+			Cache:  cache.Stats(),
+			WallMS: float64(time.Since(start).Microseconds()) / 1000,
+		}, nil
+	}
+
+	// Phase 1: record the stream and snapshot the warmed cache.
+	recCache := fleet.NewTuningCache(sim.Config{Seed: 1}, 0, 1)
+	recorded, recRes, err := runPhase("recorded", recCache, func(f *fleet.Fleet) error {
+		return f.SubmitStream(streams)
+	})
+	if err != nil {
+		return nil, err
+	}
+	snapshot, err := recCache.SnapshotBytes()
+	if err != nil {
+		return nil, err
+	}
+
+	// The recorded log becomes the input stream.
+	trace, err := fleet.ReadTrace(recorded.LogBytes(), nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: cold replay — every placement re-probes.
+	coldCache := fleet.NewTuningCache(sim.Config{Seed: 1}, 0, 1)
+	_, coldRes, err := runPhase("replay-cold", coldCache, func(f *fleet.Fleet) error {
+		return f.SubmitStream(trace)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: snapshot-warmed replay — zero probes.
+	warmCache := fleet.NewTuningCache(sim.Config{Seed: 1}, 0, 1)
+	if _, err := warmCache.RestoreBytes(snapshot); err != nil {
+		return nil, err
+	}
+	_, warmRes, err := runPhase("replay-warm", warmCache, func(f *fleet.Fleet) error {
+		return f.SubmitStream(trace)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &ReplayTable{
+		Title:   "Trace replay: recorded stream vs cold and snapshot-warmed tuning cache",
+		Jobs:    jobsPerClass * len(streams),
+		Classes: len(trace),
+		Results: []ReplayResult{recRes, coldRes, warmRes},
+	}, nil
+}
+
+// Render formats the comparison.
+func (t *ReplayTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%d jobs in %d classes, machine B fleet, bwap policy\n\n", t.Jobs, t.Classes)
+	fmt.Fprintf(&b, "  %-12s %12s %12s %8s %6s %9s %8s %10s\n",
+		"phase", "turnaround", "wait", "probes", "hits", "restored", "entries", "wall")
+	for _, r := range t.Results {
+		fmt.Fprintf(&b, "  %-12s %11.1fs %11.1fs %8d %6d %9d %8d %8.1fms\n",
+			r.Phase, r.Stats.MeanTurnaround, r.Stats.MeanWait,
+			r.Cache.Misses, r.Cache.Hits, r.Cache.Restored, r.Cache.Entries, r.WallMS)
+	}
+	cold, warm := t.Results[1], t.Results[2]
+	fmt.Fprintf(&b, "\n  snapshot-warmed replay: %d probes avoided, admission-path wall time %.1fms -> %.1fms (%.0f%% cut)\n",
+		cold.Cache.Misses-warm.Cache.Misses, cold.WallMS, warm.WallMS,
+		100*(1-warm.WallMS/cold.WallMS))
+	fmt.Fprintf(&b, "  turnaround delta %.3fs (deterministic replay: identical placements either way)\n",
+		warm.Stats.MeanTurnaround-cold.Stats.MeanTurnaround)
+	return b.String()
+}

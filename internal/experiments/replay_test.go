@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestRunReplay pins the durable-cache acceptance criterion end to end: a
+// recorded fleet log replays with a snapshot-warmed cache showing restored
+// hits and zero probe runs for the repeated signatures, while the cold
+// replay re-probes every key.
+func TestRunReplay(t *testing.T) {
+	table, err := RunReplay(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Results) != 3 {
+		t.Fatalf("got %d phases, want 3", len(table.Results))
+	}
+	rec, cold, warm := table.Results[0], table.Results[1], table.Results[2]
+
+	for _, r := range table.Results {
+		if r.Stats.Completed != table.Jobs {
+			t.Fatalf("phase %s completed %d/%d jobs", r.Phase, r.Stats.Completed, table.Jobs)
+		}
+	}
+	if rec.Cache.Misses == 0 {
+		t.Fatal("recorded phase ran no probes; the comparison is vacuous")
+	}
+	if cold.Cache.Misses != rec.Cache.Misses {
+		t.Fatalf("cold replay ran %d probes, recorded run ran %d — replay is not faithful",
+			cold.Cache.Misses, rec.Cache.Misses)
+	}
+	if warm.Cache.Misses != 0 {
+		t.Fatalf("snapshot-warmed replay ran %d probes, want 0", warm.Cache.Misses)
+	}
+	if warm.Cache.Restored < 1 {
+		t.Fatalf("warm replay restored %d entries, want >= 1", warm.Cache.Restored)
+	}
+	if warm.Cache.Hits < int64(table.Jobs) {
+		t.Fatalf("warm replay hit %d times for %d jobs", warm.Cache.Hits, table.Jobs)
+	}
+	// Deterministic replay: the warmed cache changes admission wall time,
+	// never simulated placements.
+	if warm.Stats.MeanTurnaround != cold.Stats.MeanTurnaround {
+		t.Fatalf("turnaround diverged: cold %.6f vs warm %.6f",
+			cold.Stats.MeanTurnaround, warm.Stats.MeanTurnaround)
+	}
+	if warm.Stats.MeanTurnaround != rec.Stats.MeanTurnaround {
+		t.Fatalf("replay turnaround %.6f differs from recorded %.6f",
+			warm.Stats.MeanTurnaround, rec.Stats.MeanTurnaround)
+	}
+	if table.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

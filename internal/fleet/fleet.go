@@ -33,6 +33,7 @@ package fleet
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -45,6 +46,11 @@ import (
 	"bwap/internal/topology"
 	"bwap/internal/workload"
 )
+
+// ErrQueueFull is returned (wrapped) by Submit when Config.MaxQueue
+// backpressure rejects a job; the HTTP layer maps it to 429 so clients
+// can tell a transient overload from an invalid request.
+var ErrQueueFull = errors.New("fleet: admission queue full")
 
 // Placement policy names accepted by Config.Policy.
 const (
@@ -88,6 +94,13 @@ type Config struct {
 	RetuneDelay float64
 	// MaxSimTime aborts a drain that never completes (default 1e6 s).
 	MaxSimTime float64
+	// MaxQueue bounds the arrived-but-unadmitted queue: Submit refuses
+	// further jobs while that many are already waiting for capacity,
+	// giving a daemon backpressure instead of an unbounded backlog
+	// (0 = unbounded). Not-yet-due stream arrivals don't count, so
+	// pre-submitted streams (SubmitStream, replay) are unaffected unless
+	// the backlog genuinely builds.
+	MaxQueue int
 	// Seed derives the arrival streams, engine seeds and probe seeds.
 	Seed uint64
 	// ProbeWorkScale scales tuning-probe work volumes (default
@@ -424,6 +437,9 @@ func (f *Fleet) Submit(spec workload.Spec, workers int, workScale, at float64) (
 	if !fits {
 		return nil, fmt.Errorf("fleet: no machine has %d nodes", workers)
 	}
+	if f.cfg.MaxQueue > 0 && len(f.queue) >= f.cfg.MaxQueue {
+		return nil, fmt.Errorf("%w (%d jobs waiting, max %d)", ErrQueueFull, len(f.queue), f.cfg.MaxQueue)
+	}
 	job := &Job{
 		ID: len(f.jobs) + 1, Spec: spec, Workers: workers, WorkScale: workScale,
 		Arrival: at, State: JobPending, Machine: -1,
@@ -596,7 +612,8 @@ func (f *Fleet) handle(ev *event) error {
 	case evArrive:
 		job := ev.job
 		job.State = JobQueued
-		f.logAppend(-1, Record{T: job.Arrival, Type: "arrive", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
+		f.logAppend(-1, Record{T: job.Arrival, Type: "arrive", Job: job.ID, Machine: -1,
+			Workload: job.Spec.Name, Workers: job.Workers, WorkScale: job.WorkScale})
 		admitted, err := f.tryAdmit(job)
 		if err != nil {
 			return err

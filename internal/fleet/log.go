@@ -16,7 +16,8 @@ import (
 //
 // Record types:
 //
-//	arrive   — a job entered the system (Machine is -1)
+//	arrive   — a job entered the system (Machine is -1; Workers/WorkScale
+//	           make the log a replayable trace, see ReadTrace)
 //	queue    — no machine had capacity; the job waits (Machine is -1)
 //	admit    — the job was placed (Machine, Nodes; DWP/CacheHit for bwap)
 //	complete — the job finished (Elapsed = finish − admit)
@@ -28,8 +29,13 @@ type Record struct {
 	Job      int     `json:"job,omitempty"`
 	Machine  int     `json:"machine"`
 	Workload string  `json:"workload,omitempty"`
-	Nodes    []int   `json:"nodes,omitempty"`
-	Jobs     []int   `json:"jobs,omitempty"`
+	// Workers and WorkScale are stamped on arrive records so the job's
+	// shape survives into the log; together with T they are exactly what
+	// ReadTrace needs to resubmit the stream.
+	Workers   int     `json:"workers,omitempty"`
+	WorkScale float64 `json:"work_scale,omitempty"`
+	Nodes     []int   `json:"nodes,omitempty"`
+	Jobs      []int   `json:"jobs,omitempty"`
 	// DWP is a pointer so an applied proximity factor of exactly 0 (the
 	// canonical distribution) still appears in admit records.
 	DWP      *float64 `json:"dwp,omitempty"`

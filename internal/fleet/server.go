@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -43,8 +44,15 @@ type Server struct {
 	// Tick is the wall interval of the background driver (default 10 ms).
 	Tick time.Duration
 
-	stop chan struct{}
-	done chan struct{}
+	// lifeMu serializes Start/Stop end to end (including Stop's wait for
+	// the driver to exit), so a Start racing an in-progress Stop cannot
+	// spawn a second driver before the old one has observed its closed
+	// stop channel. It is never taken by the driver itself, so holding it
+	// across the done-wait cannot deadlock. stop/done belong to the
+	// current driver goroutine and are additionally guarded by mu.
+	lifeMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
 }
 
 // NewServer wraps a fleet.
@@ -52,33 +60,48 @@ func NewServer(f *Fleet) *Server {
 	return &Server{fleet: f, SimRate: 100, Tick: 10 * time.Millisecond}
 }
 
-// Start launches the background clock driver.
+// Start launches the background clock driver. Safe to call concurrently
+// with Stop; at most one driver runs at any instant.
 func (s *Server) Start() {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.stop != nil {
 		return
 	}
 	s.stop = make(chan struct{})
 	s.done = make(chan struct{})
-	go s.drive()
+	go s.drive(s.stop, s.done)
 }
 
-// Stop halts the clock driver and waits for it to exit.
+// Stop halts the clock driver and waits for it to exit. Safe to call
+// concurrently with Start; exactly one caller tears down each driver, and
+// the driver is fully gone before a subsequent Start can launch another.
 func (s *Server) Stop() {
-	if s.stop == nil {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
 		return
 	}
-	close(s.stop)
-	<-s.done
-	s.stop, s.done = nil, nil
+	close(stop)
+	<-done
 }
 
-func (s *Server) drive() {
-	defer close(s.done)
+// drive owns the channels it was started with rather than reading them
+// from the struct, so a concurrent Stop+Start pair can never swap them
+// under the running goroutine.
+func (s *Server) drive(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
 	t := time.NewTicker(s.Tick)
 	defer t.Stop()
 	for {
 		select {
-		case <-s.stop:
+		case <-stop:
 			return
 		case <-t.C:
 			s.mu.Lock()
@@ -109,10 +132,16 @@ type submitRequest struct {
 	Count int `json:"count,omitempty"`
 }
 
+// submitResponse reports every job the batch put into the fleet. On a
+// mid-batch failure the response carries the partial IDs and cache flags
+// alongside the error — including the job whose own admission failed, if
+// it was submitted: those jobs exist in the fleet, so dropping their IDs
+// would strand the client.
 type submitResponse struct {
 	IDs       []int   `json:"ids"`
 	CacheHits []bool  `json:"cache_hits"`
 	SimTime   float64 `json:"sim_time"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // jobView is the JSON shape of one job.
@@ -202,34 +231,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("need workload or spec"))
 		return
 	}
-	if req.Workers <= 0 {
+	// Zero means "default"; negatives are requests for something impossible
+	// and rejecting them beats silently running a different job than asked.
+	if req.Workers < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("negative workers %d", req.Workers))
+		return
+	}
+	if req.WorkScale < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("negative work_scale %g", req.WorkScale))
+		return
+	}
+	if req.Count < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("negative count %d", req.Count))
+		return
+	}
+	if req.Workers == 0 {
 		req.Workers = 1
 	}
-	if req.WorkScale <= 0 {
+	if req.WorkScale == 0 {
 		req.WorkScale = 1
 	}
-	if req.Count <= 0 {
+	if req.Count == 0 {
 		req.Count = 1
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	resp := submitResponse{}
+	resp := submitResponse{IDs: []int{}, CacheHits: []bool{}}
+	// fail reports a mid-batch error without dropping the jobs already
+	// admitted: their IDs and cache flags ride along with the error.
+	fail := func(status int, err error) {
+		resp.Error = err.Error()
+		resp.SimTime = s.fleet.Now()
+		writeJSON(w, status, resp)
+	}
 	for i := 0; i < req.Count; i++ {
 		job, err := s.fleet.Submit(spec, req.Workers, req.WorkScale, s.fleet.Now())
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			// Backpressure is transient and retryable; invalid input is not.
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrQueueFull) {
+				status = http.StatusTooManyRequests
+			}
+			fail(status, err)
 			return
 		}
+		// The job is in the fleet from here on, so its ID rides in the
+		// response even if its own admission below fails.
+		resp.IDs = append(resp.IDs, job.ID)
 		// Admit synchronously: the arrival is due now, so ProcessDue runs
 		// placement — and on a cache hit the probe is skipped, which is
 		// the repeat-job latency win the cache exists for.
-		if err := s.fleet.ProcessDue(); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+		procErr := s.fleet.ProcessDue()
+		resp.CacheHits = append(resp.CacheHits, job.CacheHit)
+		if procErr != nil {
+			fail(http.StatusInternalServerError, procErr)
 			return
 		}
-		resp.IDs = append(resp.IDs, job.ID)
-		resp.CacheHits = append(resp.CacheHits, job.CacheHit)
 	}
 	resp.SimTime = s.fleet.Now()
 	writeJSON(w, http.StatusOK, resp)

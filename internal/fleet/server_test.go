@@ -292,6 +292,151 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerSubmitValidation pins the /submit input contract: zero values
+// select defaults, negative workers/work_scale/count are rejected with 400
+// instead of being silently coerced into a different job than asked for.
+func TestServerSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"negative workers", `{"workload":"SC","workers":-1}`, http.StatusBadRequest},
+		{"negative work_scale", `{"workload":"SC","work_scale":-0.5}`, http.StatusBadRequest},
+		{"negative count", `{"workload":"SC","count":-2}`, http.StatusBadRequest},
+		{"unknown workload", `{"workload":"nope"}`, http.StatusBadRequest},
+		{"no workload", `{}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"zero values default", `{"workload":"SC","workers":0,"work_scale":0,"count":0}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/submit", "application/json", bytes.NewReader([]byte(c.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.status {
+				body, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, c.status, body)
+			}
+		})
+	}
+}
+
+// TestServerPartialBatchSubmit is the lost-IDs regression test: a batch
+// that fails mid-way (here on job 4, via MaxQueue capacity exhaustion)
+// must return the IDs and cache flags of the jobs already admitted into
+// the fleet alongside the error — those jobs exist and will run.
+func TestServerPartialBatchSubmit(t *testing.T) {
+	cfg := Config{
+		Machines:   1,
+		NewMachine: smallMachine,
+		SimCfg:     sim.Config{Seed: 4},
+		Policy:     PolicyFirstTouch,
+		Seed:       4,
+		MaxQueue:   2,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(f)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	// The clock driver stays off: job 1 occupies the whole machine and
+	// never finishes, so jobs 2-3 queue and job 4 hits the bound.
+	body := `{"spec":{"Name":"batch","ReadGBs":10,"WriteGBs":1,"PrivateFrac":0.3,
+"LatencySensitivity":0.2,"SyncFactor":0.1,"WorkGB":400,"SharedGB":0.25,"PrivateGBPerNode":0.1},
+"workers":4,"work_scale":1,"count":10}`
+	resp, err := http.Post(ts.URL+"/submit", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity batch returned %d, want 429 (retryable backpressure)", resp.StatusCode)
+	}
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == "" {
+		t.Fatalf("partial response carries no error: %+v", out)
+	}
+	if len(out.IDs) != 3 || len(out.CacheHits) != 3 {
+		t.Fatalf("partial response lost admitted jobs: ids=%v cache_hits=%v, want 3 of each", out.IDs, out.CacheHits)
+	}
+	for i, id := range out.IDs {
+		if id != i+1 {
+			t.Fatalf("partial IDs = %v, want [1 2 3]", out.IDs)
+		}
+		if f.Job(id) == nil {
+			t.Fatalf("returned job %d not in the fleet", id)
+		}
+	}
+	// The failed submission must not have entered the fleet.
+	if got := len(f.Jobs()); got != 3 {
+		t.Fatalf("fleet holds %d jobs, want 3", got)
+	}
+}
+
+// TestMaxQueueIgnoresPendingStream pins the backpressure semantics:
+// MaxQueue bounds the arrived-but-unadmitted queue, not future arrivals,
+// so a pre-submitted stream longer than the bound (the replay path) is
+// accepted and drains normally.
+func TestMaxQueueIgnoresPendingStream(t *testing.T) {
+	cfg := testConfig(PolicyFirstTouch, 6)
+	cfg.MaxQueue = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SubmitStream(testStreams()); err != nil {
+		t.Fatalf("pre-submitted stream rejected by MaxQueue: %v", err)
+	}
+	stats, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 7 {
+		t.Fatalf("completed %d/7", stats.Completed)
+	}
+}
+
+// TestServerStartStopRace hammers the driver lifecycle from many
+// goroutines; run under -race (CI does) this pins the mutex-guarded
+// stop/done handover. Every interleaving must end with at most one driver,
+// and the final Stop must leave none.
+func TestServerStartStopRace(t *testing.T) {
+	cfg := testConfig(PolicyFirstTouch, 9)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(f)
+	s.Tick = time.Millisecond
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Start()
+				s.Stop()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil || s.done != nil {
+		t.Fatal("driver channels survived the final Stop")
+	}
+}
+
 // TestServerSubmitLatencyDrop measures the placement-latency effect the
 // tuning cache exists for: the first submission of a workload runs the
 // profiling probe inline, the second skips it. The hit must be at least

@@ -40,6 +40,14 @@ type Stats struct {
 	// (admissions and retunes, bwap policy only), summed over shards.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// CacheEvictions/CacheRestored/CacheEntries report the backing tuning
+	// cache's DWP layer: LRU evictions under a CacheMaxEntries bound,
+	// entries loaded from a snapshot file, and current occupancy. Unlike
+	// the hit/miss counters these are properties of the (possibly shared)
+	// cache itself, not of this fleet's lookups alone.
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheRestored  int64 `json:"cache_restored"`
+	CacheEntries   int   `json:"cache_entries"`
 	// LogRecords is the number of event-log lines written.
 	LogRecords int `json:"log_records"`
 }
@@ -86,6 +94,10 @@ func (f *Fleet) Stats() *Stats {
 		Jobs:       len(f.jobs),
 		LogRecords: f.log.seq,
 	}
+	cs := f.cache.Stats()
+	s.CacheEvictions = cs.Evictions
+	s.CacheRestored = cs.Restored
+	s.CacheEntries = cs.Entries
 	busy := 0.0
 	for _, sh := range f.shards {
 		s.CacheHits += sh.cacheHits

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+
+	"bwap/internal/workload"
+)
+
+// ReadTrace parses a merged JSONL event log back into the job stream that
+// produced it: one trace-driven StreamSpec per distinct (workload, workers,
+// work-scale) class, arrivals replayed at their recorded timestamps. This
+// closes the replay loop — the fleet's own write-only log becomes an input:
+//
+//	recs → one class per job shape → workload.TraceArrival(recorded times)
+//
+// resolve maps a workload name from the log to its full spec; nil selects
+// workload.ByName (the built-in benchmarks). For replay equivalence the
+// resolver must return a spec whose Signature matches the recorded job's —
+// the log stores only the name, so custom specs need a caller-side table.
+//
+// Classes are emitted in order of first arrival. Because SubmitStream
+// orders ties by class index and the log's arrive records are globally
+// time-ordered, resubmitting the returned streams into an identically
+// configured fleet reproduces the original job numbering and admission
+// order (pinned by TestTraceReplayReproducesLog). One caveat: when two
+// *different classes* share a bit-exact arrival timestamp, the replay
+// breaks the tie by trace class index (first-arrival order), which may
+// differ from the recording's original class order — Poisson and jittered
+// streams never collide, but same-grid periodic streams can; ties within
+// a class always keep their order.
+func ReadTrace(data []byte, resolve func(name string) (workload.Spec, error)) ([]StreamSpec, error) {
+	if resolve == nil {
+		resolve = workload.ByName
+	}
+	recs, err := DecodeLog(data)
+	if err != nil {
+		return nil, err
+	}
+	type class struct {
+		name    string
+		workers int
+		scale   float64
+	}
+	index := map[class]int{}
+	var streams []StreamSpec
+	var times [][]float64
+	for _, r := range recs {
+		if r.Type != "arrive" {
+			continue
+		}
+		if r.Workers <= 0 || r.WorkScale <= 0 {
+			return nil, fmt.Errorf("fleet: arrive record for job %d lacks workers/work_scale (log predates trace replay)", r.Job)
+		}
+		k := class{name: r.Workload, workers: r.Workers, scale: r.WorkScale}
+		i, ok := index[k]
+		if !ok {
+			spec, err := resolve(r.Workload)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: trace class %q: %w", r.Workload, err)
+			}
+			i = len(streams)
+			index[k] = i
+			streams = append(streams, StreamSpec{Workload: spec, Workers: r.Workers, WorkScale: r.WorkScale})
+			times = append(times, nil)
+		}
+		times[i] = append(times[i], r.T)
+	}
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("fleet: log contains no arrive records")
+	}
+	for i := range streams {
+		streams[i].Arrival = workload.TraceArrival(times[i])
+	}
+	return streams, nil
+}

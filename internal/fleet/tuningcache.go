@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"os"
 
 	"bwap/internal/cache"
 	"bwap/internal/core"
@@ -36,12 +38,43 @@ import (
 // A TuningCache is safe for concurrent use and may be shared across fleets
 // and a bwapd daemon; concurrent first submissions of the same key share
 // one probe run.
+//
+// By default the DWP layer forgets failed probes (a transient failure does
+// not poison its key for the daemon's lifetime — CacheErrors restores the
+// strict first-outcome-is-the-outcome behaviour for replay determinism),
+// and is unbounded (CacheMaxEntries adds an LRU bound for long-lived
+// multi-tenant fleets). Completed DWP entries can be saved to a versioned
+// JSON file and reloaded on a later boot: the key derivation is stable
+// across processes, so a restored entry is a legitimate hit.
 type TuningCache struct {
 	simCfg     sim.Config
 	probeScale float64
 	seed       uint64
 	canon      *cache.Cache[*core.CanonicalTuner]
 	dwp        *cache.Cache[float64]
+}
+
+// TuningCacheOption configures a TuningCache at construction.
+type TuningCacheOption func(*tuningCacheOpts)
+
+type tuningCacheOpts struct {
+	maxEntries  int
+	cacheErrors bool
+}
+
+// CacheMaxEntries bounds the DWP layer to n entries with LRU eviction
+// (n <= 0 keeps it unbounded). The canonical-tuner layer stays unbounded:
+// it holds one entry per topology model, not per workload.
+func CacheMaxEntries(n int) TuningCacheOption {
+	return func(o *tuningCacheOpts) { o.maxEntries = n }
+}
+
+// CacheErrors memoizes failed probes forever — the pre-durability default,
+// kept available because strict replay determinism wants the first outcome
+// (even a failure) to be the outcome. Without it a failed probe is
+// forgotten and the next lookup of its key retries.
+func CacheErrors() TuningCacheOption {
+	return func(o *tuningCacheOpts) { o.cacheErrors = true }
 }
 
 // DefaultProbeWorkScale is the fraction of a job's work volume a tuning
@@ -56,16 +89,27 @@ const probeMaxTime = 600
 // NewTuningCache returns an empty cache. simCfg should match the fleet's
 // engine configuration so probes see the same contention model; probeScale
 // <= 0 selects DefaultProbeWorkScale.
-func NewTuningCache(simCfg sim.Config, probeScale float64, seed uint64) *TuningCache {
+func NewTuningCache(simCfg sim.Config, probeScale float64, seed uint64, opts ...TuningCacheOption) *TuningCache {
 	if probeScale <= 0 {
 		probeScale = DefaultProbeWorkScale
+	}
+	var o tuningCacheOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var dwpOpts []cache.Option
+	if o.maxEntries > 0 {
+		dwpOpts = append(dwpOpts, cache.MaxEntries(o.maxEntries))
+	}
+	if !o.cacheErrors {
+		dwpOpts = append(dwpOpts, cache.ForgetErrors())
 	}
 	return &TuningCache{
 		simCfg:     simCfg,
 		probeScale: probeScale,
 		seed:       seed,
 		canon:      cache.New[*core.CanonicalTuner](),
-		dwp:        cache.New[float64](),
+		dwp:        cache.New[float64](dwpOpts...),
 	}
 }
 
@@ -93,8 +137,106 @@ func (tc *TuningCache) DWP(topo *topology.Machine, spec workload.Spec, workers, 
 	})
 }
 
-// Stats reports the DWP cache's cumulative hit and miss counts.
-func (tc *TuningCache) Stats() (hits, misses int64) { return tc.dwp.Stats() }
+// TuningCacheStats is the DWP layer's cumulative accounting, reported by
+// the daemon's /fleet endpoint. Misses equal probe runs.
+type TuningCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Restored  int64 `json:"restored"`
+	Entries   int   `json:"entries"`
+}
+
+// Stats reports the DWP cache's cumulative counters.
+func (tc *TuningCache) Stats() TuningCacheStats {
+	hits, misses := tc.dwp.Stats()
+	return TuningCacheStats{
+		Hits:      hits,
+		Misses:    misses,
+		Evictions: tc.dwp.Evictions(),
+		Restored:  tc.dwp.Restored(),
+		Entries:   tc.dwp.Len(),
+	}
+}
+
+// tuningCacheFileVersion versions the Save/LoadInto envelope; the inner
+// cache snapshot carries its own format version.
+const (
+	tuningCacheFileVersion = 1
+	tuningCacheFileKind    = "bwap-tuning-cache"
+)
+
+// tuningCacheFile is the on-disk envelope around the DWP cache snapshot.
+type tuningCacheFile struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	DWP     json.RawMessage `json:"dwp"`
+}
+
+// SnapshotBytes serializes every completed DWP entry (keys embed the
+// topology fingerprint and workload signature, so entries are portable
+// across processes and machines of the same model).
+func (tc *TuningCache) SnapshotBytes() ([]byte, error) {
+	dwp, err := tc.dwp.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: cache snapshot: %w", err)
+	}
+	return json.MarshalIndent(tuningCacheFile{
+		Version: tuningCacheFileVersion,
+		Kind:    tuningCacheFileKind,
+		DWP:     dwp,
+	}, "", " ")
+}
+
+// RestoreBytes loads a SnapshotBytes payload into the cache and returns
+// how many entries it added. Restored entries are full hits: a later DWP
+// lookup of their key runs no probe.
+func (tc *TuningCache) RestoreBytes(data []byte) (int, error) {
+	var f tuningCacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("fleet: cache restore: %w", err)
+	}
+	if f.Kind != tuningCacheFileKind {
+		return 0, fmt.Errorf("fleet: cache restore: kind %q, want %q", f.Kind, tuningCacheFileKind)
+	}
+	if f.Version != tuningCacheFileVersion {
+		return 0, fmt.Errorf("fleet: cache restore: file version %d, want %d", f.Version, tuningCacheFileVersion)
+	}
+	n, err := tc.dwp.Restore(f.DWP)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: cache restore: %w", err)
+	}
+	return n, nil
+}
+
+// Save atomically writes the cache snapshot to path (temp file + rename),
+// so a crash mid-write never leaves a truncated cache for the next boot.
+func (tc *TuningCache) Save(path string) error {
+	data, err := tc.SnapshotBytes()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fleet: cache save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("fleet: cache save: %w", err)
+	}
+	return nil
+}
+
+// LoadInto reads a Save file into this cache, returning how many entries
+// were restored. A missing file is an error the caller can detect with
+// os.IsNotExist for the boot-if-present pattern.
+func (tc *TuningCache) LoadInto(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return tc.RestoreBytes(data)
+}
 
 // probeParams compresses the DWP search the same way the experiment
 // profiles do for scaled-down runs, so the probe converges within its

@@ -30,52 +30,88 @@ func (s Spec) Signature() string {
 // event log depends on that.
 type ArrivalSpec struct {
 	// Process selects the arrival process: "periodic" (fixed interval, with
-	// optional jitter) or "poisson" (exponential inter-arrival gaps).
+	// optional jitter), "poisson" (exponential inter-arrival gaps) or
+	// "trace" (explicit recorded timestamps, replayed verbatim).
 	Process string
-	// Rate is the mean arrival rate in jobs per simulated second.
+	// Rate is the mean arrival rate in jobs per simulated second
+	// (periodic/poisson only).
 	Rate float64
-	// Start offsets the first arrival from time zero.
+	// Start offsets the first arrival from time zero (periodic/poisson
+	// only).
 	Start float64
-	// Count is the number of arrivals the spec generates.
+	// Count is the number of arrivals the spec generates. For the trace
+	// process it is implied by len(Trace); if set it must agree.
 	Count int
 	// Jitter (periodic only) perturbs each arrival uniformly within
 	// ±Jitter/2 of its slot, as a fraction of the interval, in [0,1).
 	Jitter float64
+	// Trace (trace process only) is the explicit arrival series in
+	// simulated seconds — typically read back from a fleet event log. It is
+	// replayed exactly; the seed is ignored.
+	Trace []float64
 }
 
 // Arrival process names.
 const (
 	Periodic = "periodic"
 	Poisson  = "poisson"
+	Trace    = "trace"
 )
+
+// TraceArrival builds the arrival spec that replays the given timestamps
+// verbatim — the trace-driven source that turns a recorded fleet event log
+// back into an input stream. The slice is copied.
+func TraceArrival(times []float64) ArrivalSpec {
+	return ArrivalSpec{
+		Process: Trace,
+		Count:   len(times),
+		Trace:   append([]float64(nil), times...),
+	}
+}
 
 // Validate checks the spec for internal consistency.
 func (a ArrivalSpec) Validate() error {
 	switch a.Process {
 	case Periodic, Poisson:
+		if a.Rate <= 0 {
+			return fmt.Errorf("workload: arrival rate %g must be positive", a.Rate)
+		}
+		if a.Start < 0 {
+			return fmt.Errorf("workload: negative arrival start %g", a.Start)
+		}
+		if a.Count <= 0 {
+			return fmt.Errorf("workload: arrival count %d must be positive", a.Count)
+		}
+		if a.Jitter < 0 || a.Jitter >= 1 {
+			return fmt.Errorf("workload: jitter %g out of [0,1)", a.Jitter)
+		}
+	case Trace:
+		if len(a.Trace) == 0 {
+			return fmt.Errorf("workload: trace arrival spec has no timestamps")
+		}
+		if a.Count != 0 && a.Count != len(a.Trace) {
+			return fmt.Errorf("workload: trace count %d disagrees with %d timestamps", a.Count, len(a.Trace))
+		}
+		for i, t := range a.Trace {
+			if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+				return fmt.Errorf("workload: trace timestamp %d is %g", i, t)
+			}
+		}
 	default:
 		return fmt.Errorf("workload: unknown arrival process %q", a.Process)
-	}
-	if a.Rate <= 0 {
-		return fmt.Errorf("workload: arrival rate %g must be positive", a.Rate)
-	}
-	if a.Start < 0 {
-		return fmt.Errorf("workload: negative arrival start %g", a.Start)
-	}
-	if a.Count <= 0 {
-		return fmt.Errorf("workload: arrival count %d must be positive", a.Count)
-	}
-	if a.Jitter < 0 || a.Jitter >= 1 {
-		return fmt.Errorf("workload: jitter %g out of [0,1)", a.Jitter)
 	}
 	return nil
 }
 
 // Times materializes the arrival time series. The same spec and seed always
-// produce the same series; distinct seeds decorrelate streams.
+// produce the same series; distinct seeds decorrelate streams. The trace
+// process ignores the seed and returns its recorded series unchanged.
 func (a ArrivalSpec) Times(seed uint64) ([]float64, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
+	}
+	if a.Process == Trace {
+		return append([]float64(nil), a.Trace...), nil
 	}
 	rng := NewRand(seed)
 	out := make([]float64, a.Count)

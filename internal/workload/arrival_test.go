@@ -84,6 +84,57 @@ func TestPoissonTimesDeterministicAndPlausible(t *testing.T) {
 	}
 }
 
+// TestTraceArrival covers the trace-driven source: recorded timestamps are
+// replayed verbatim, seed-independently, and defensively copied.
+func TestTraceArrival(t *testing.T) {
+	recorded := []float64{0, 0.4, 2.25, 2.25, 7}
+	a := TraceArrival(recorded)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != len(recorded) {
+		t.Fatalf("Count = %d, want %d", a.Count, len(recorded))
+	}
+	t1, err := a.Times(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := a.Times(999) // seed must be irrelevant
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recorded {
+		if t1[i] != recorded[i] || t2[i] != recorded[i] {
+			t.Fatalf("trace replay diverged at %d: %v / %v, want %v", i, t1[i], t2[i], recorded[i])
+		}
+	}
+	// Mutating the input or the output must not alias the spec.
+	recorded[0] = 99
+	t1[1] = 99
+	t3, _ := a.Times(1)
+	if t3[0] != 0 || t3[1] != 0.4 {
+		t.Fatalf("trace spec aliases caller slices: %v", t3)
+	}
+}
+
+func TestTraceArrivalValidate(t *testing.T) {
+	bad := []ArrivalSpec{
+		{Process: Trace}, // no timestamps
+		{Process: Trace, Trace: []float64{1}, Count: 2}, // count disagrees
+		{Process: Trace, Trace: []float64{-1}},          // negative time
+		{Process: Trace, Trace: []float64{math.NaN()}},  // NaN
+		{Process: Trace, Trace: []float64{math.Inf(1)}}, // +Inf never arrives
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("trace spec %d validated, want error", i)
+		}
+	}
+	if err := (ArrivalSpec{Process: Trace, Trace: []float64{0, 1}}).Validate(); err != nil {
+		t.Errorf("good trace spec rejected: %v", err)
+	}
+}
+
 func TestRandUnitRange(t *testing.T) {
 	r := NewRand(1)
 	for i := 0; i < 10000; i++ {
