@@ -203,6 +203,40 @@ func (policyUniformAll) Place(e *sim.Engine, a *sim.App) error {
 	return nil
 }
 
+// BenchmarkEngineQuiescentAdvance measures the quiescent-interval
+// fast-forward on a long quiescent single-app run: 3000 ticks advanced
+// with the memoized replay path ("on") vs. the naive solve-every-tick
+// reference ("off"). The two are byte-identical in results (pinned by
+// TestFastForwardEquivalence); the acceptance criterion is on ≥ 5× faster.
+func BenchmarkEngineQuiescentAdvance(b *testing.B) {
+	m := topology.MachineA()
+	spec := workload.OceanCP
+	spec.WorkGB = 1e9 // quiescent throughout: nothing ever completes
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := sim.New(m, sim.Config{MaxTime: 1e9, DemandFactor: 1.3, DisableFastForward: mode.disable})
+				app, err := e.AddApp("oc", spec, []topology.NodeID{0, 1, 2, 3}, policyUniformAll{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.PlaceApp(app); err != nil {
+					b.Fatal(err)
+				}
+				e.AdvanceToQuiescent(300)
+				if e.Ticks() != 3000 {
+					b.Fatalf("advanced %d ticks, want 3000", e.Ticks())
+				}
+			}
+			b.ReportMetric(300*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+		})
+	}
+}
+
 // BenchmarkDynamicReTuning measures the Section VI extension experiment.
 func BenchmarkDynamicReTuning(b *testing.B) {
 	p := experiments.MachineB().Quick()

@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,7 +74,20 @@ func main() {
 	cacheMax := flag.Int("cache-max-entries", 0, "LRU bound on cached placements (0 = unbounded)")
 	maxQueue := flag.Int("max-queue", 0, "reject submissions once this many jobs wait for admission (0 = unbounded)")
 	replayPath := flag.String("replay", "", "replay a recorded JSONL event log instead of serving, then exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for in-situ profiling of the fleet hot paths")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A separate listener (and the default mux, where the pprof import
+		// registers itself) keeps profiling off the public API surface. It
+		// covers -replay runs too, so recorded streams can be profiled.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "bwapd: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("bwapd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	var newMachine func(int) *topology.Machine
 	switch *machine {

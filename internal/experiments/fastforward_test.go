@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunFastForward pins the scenario's correctness half — naive and
+// fast-forwarded runs must produce byte-identical event logs — and its
+// non-vacuity: the fast-forwarded run actually replays ticks (unless the
+// CI knob forces the naive path everywhere).
+func TestRunFastForward(t *testing.T) {
+	table, err := RunFastForward(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.LogsIdentical {
+		t.Fatal("fast-forward changed the event log")
+	}
+	if len(table.Results) != 2 {
+		t.Fatalf("expected 2 modes, got %d", len(table.Results))
+	}
+	naive, ff := table.Results[0], table.Results[1]
+	if naive.Stats.TickReplays != 0 {
+		t.Fatalf("naive mode replayed %d ticks", naive.Stats.TickReplays)
+	}
+	if os.Getenv("BWAP_NO_FASTFORWARD") != "1" && ff.Stats.TickReplays == 0 {
+		t.Fatal("fast-forward mode never replayed a tick")
+	}
+	if naive.Stats.Completed != ff.Stats.Completed ||
+		naive.Stats.MeanTurnaround != ff.Stats.MeanTurnaround {
+		t.Fatalf("stats diverge: %+v vs %+v", naive.Stats, ff.Stats)
+	}
+	if r := table.Render(); r == "" {
+		t.Fatal("empty render")
+	}
+}

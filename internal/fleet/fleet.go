@@ -272,6 +272,7 @@ type Fleet struct {
 	eventSeq int
 	now      float64
 	pool     *tickPool // live only inside a run() invocation
+	lastBusy int       // machine that vetoed the last quiescent batch
 
 	log        eventLog
 	totalNodes int
@@ -586,12 +587,65 @@ func (f *Fleet) run(target float64, drain bool) error {
 	}
 }
 
+// minQuiescentBatch is the smallest quiescent window worth advancing as
+// one barrier-free batch; anything shorter runs through the normal
+// per-tick loop (whose engine-level solve memoization already makes those
+// ticks cheap).
+const minQuiescentBatch = 4
+
+// quiescentBatch returns how many ticks the next advance step may cover:
+// 1 — a normal barrier-bound tick — unless every machine in the fleet is
+// quiescent with a known horizon, in which case the whole provably
+// event-free window (capped so the clock stays strictly below t) advances
+// as one batch. Idle machines (zero placed apps) are quiescent with an
+// unbounded horizon once their latency feedback settles, so a mostly-idle
+// fleet stops grinding per-tick barriers entirely — the fix for the
+// negative shard scaling BENCH_3 measured.
+func (f *Fleet) quiescentBatch(t float64) int {
+	rt := (t - f.now) / f.dt
+	if !(rt < 1<<40) {
+		rt = 1 << 40
+	}
+	k := int(rt) - 1 // strictly below t: the tail ticks use the exact clock test
+	if k < minQuiescentBatch {
+		return 1
+	}
+	// Probe the machine that vetoed the last batch first: in a busy fleet
+	// it is almost always still non-quiescent, so the common per-tick cost
+	// of this scan is one machine's check, not the whole fleet's.
+	if b := f.lastBusy; b < len(f.machines) {
+		q := f.machines[b].eng.QuiescentTicks(k)
+		if q < minQuiescentBatch {
+			return 1
+		}
+		if q < k {
+			k = q
+		}
+	}
+	for i, m := range f.machines {
+		if i == f.lastBusy {
+			continue
+		}
+		q := m.eng.QuiescentTicks(k)
+		if q < minQuiescentBatch {
+			f.lastBusy = i
+			return 1
+		}
+		if q < k {
+			k = q
+		}
+	}
+	return k
+}
+
 // advanceTo ticks every shard in lockstep until the clock reaches t,
 // stopping at the first tick in which any job completes; the newly
 // completed jobs are returned so the loop can turn them into events. With
 // more than one shard and worker the shards advance concurrently under
 // the per-tick barrier; the serial path is the single-worker degenerate
-// case of the same loop.
+// case of the same loop. Quiescent windows — every machine event-free
+// with a known horizon — advance as single batches that skip the
+// per-tick barrier (see quiescentBatch).
 func (f *Fleet) advanceTo(t float64) []*Job {
 	var comps []*Job
 	if f.workers > 1 && len(f.shards) > 1 {

@@ -44,6 +44,50 @@ func (s *shard) tick(dt float64) {
 		m.eng.Step()
 		s.busyNodeSeconds += float64(len(m.free)-m.freeCount) * dt
 	}
+	s.collectComps()
+}
+
+// advance moves the shard k ticks forward: one barrier-bound step for
+// k == 1, the quiescent batch path otherwise.
+func (s *shard) advance(k int, dt float64) {
+	if k == 1 {
+		s.tick(dt)
+		return
+	}
+	s.replay(k, dt)
+}
+
+// replay advances every machine k ticks through the engine's memoized
+// replay loop — the barrier-free path advanceTo takes when every machine
+// is quiescent with a horizon of at least k ticks. Machines with zero
+// placed apps reduce to a bare clock loop inside ReplayTicks, so idle
+// machines cost (almost) nothing. If an engine declines or stops early,
+// the remainder is topped up with full Steps: each machine's state stays
+// byte-identical to k naive Steps regardless. The scheduler would observe
+// a completion inside the window only after the batch — which is why
+// QuiescentTicks' horizon excludes completions with a drift margin that
+// holds for quiescent spans up to ~1e10 ticks (batches are capped at 2^20
+// ticks each), far beyond MaxSimTime's reach; the defensive scan below
+// still surfaces such a completion rather than losing it. The busy-time
+// charges repeat the per-tick additions the naive loop makes (k constant
+// occupancies per machine), keeping utilization accounting bit-equal too.
+func (s *shard) replay(k int, dt float64) {
+	for _, m := range s.machines {
+		for ran := m.eng.ReplayTicks(k); ran < k; ran++ {
+			m.eng.Step()
+		}
+	}
+	for i := 0; i < k; i++ {
+		for _, m := range s.machines {
+			s.busyNodeSeconds += float64(len(m.free)-m.freeCount) * dt
+		}
+	}
+	s.collectComps()
+}
+
+// collectComps gathers jobs that completed during the step(s) just run,
+// in (machine id, admission order).
+func (s *shard) collectComps() {
 	for _, m := range s.machines {
 		for _, j := range m.active {
 			if !j.seen && j.app.Done() {
@@ -88,13 +132,16 @@ func (f *Fleet) gatherComps() []*Job {
 
 // advanceSerial is the single-worker tick loop: every shard advanced on
 // the scheduler goroutine, stopping at the first tick that completes a
-// job.
+// job. Quiescent windows are batched: when every machine is provably
+// event-free for k ticks the shards replay k ticks back to back instead
+// of looping one tick at a time.
 func (f *Fleet) advanceSerial(t float64) []*Job {
 	for f.now+f.eps() < t {
+		k := f.quiescentBatch(t)
 		for _, s := range f.shards {
-			s.tick(f.dt)
+			s.advance(k, f.dt)
 		}
-		f.now += f.dt
+		f.bumpClock(k)
 		if comps := f.gatherComps(); len(comps) > 0 {
 			return comps
 		}
@@ -102,14 +149,25 @@ func (f *Fleet) advanceSerial(t float64) []*Job {
 	return nil
 }
 
+// bumpClock advances the lockstep clock by k ticks, with the same one-dt-
+// at-a-time additions the per-tick loop performs so the clock value (and
+// every timestamp derived from it) is independent of the batch size.
+func (f *Fleet) bumpClock(k int) {
+	for i := 0; i < k; i++ {
+		f.now += f.dt
+	}
+}
+
 // tickPool is the bounded worker pool advancing shards in parallel:
 // worker w owns shards w, w+W, ... and sleeps on its wake channel between
-// ticks. The pool is created lazily by the first parallel advance of a
-// run() invocation and torn down when run() returns, so its lifetime
-// spans many inter-event advances instead of one goroutine spawn per
-// event gap.
+// batches. The wake message carries the batch size — 1 for a normal
+// barrier tick, k > 1 for a quiescent fast-forward window, so a batch
+// pays one barrier instead of k. The pool is created lazily by the first
+// parallel advance of a run() invocation and torn down when run()
+// returns, so its lifetime spans many inter-event advances instead of
+// one goroutine spawn per event gap.
 type tickPool struct {
-	wake []chan struct{}
+	wake []chan int
 	done chan int
 }
 
@@ -118,13 +176,13 @@ func (f *Fleet) ensurePool() *tickPool {
 		return f.pool
 	}
 	nw := f.workers
-	p := &tickPool{wake: make([]chan struct{}, nw), done: make(chan int, nw)}
+	p := &tickPool{wake: make([]chan int, nw), done: make(chan int, nw)}
 	for w := 0; w < nw; w++ {
-		p.wake[w] = make(chan struct{})
+		p.wake[w] = make(chan int)
 		go func(w int) {
-			for range p.wake[w] {
+			for k := range p.wake[w] {
 				for si := w; si < len(f.shards); si += nw {
-					f.shards[si].tick(f.dt)
+					f.shards[si].advance(k, f.dt)
 				}
 				p.done <- w
 			}
@@ -147,23 +205,26 @@ func (f *Fleet) stopPool() {
 }
 
 // advanceParallel runs the same loop as advanceSerial with the shards
-// spread over the worker pool. Each simulated tick is a barrier: the
-// scheduler wakes every worker, each advances its shards one step, and
-// the tick ends only when all have replied — so no shard ever runs
-// ahead, and completion events are gathered from quiescent state.
+// spread over the worker pool. Each batch is a barrier: the scheduler
+// wakes every worker, each advances its shards the batch's tick count,
+// and the batch ends only when all have replied — so no shard ever runs
+// ahead of a tick at which an event could emerge, and completion events
+// are gathered from quiescent state. Normal operation batches one tick at
+// a time; quiescent windows batch k ticks and re-enter the barrier once.
 // Determinism does not depend on the worker count: shards share no state,
 // the clock advances on the scheduler goroutine, and gatherComps orders
 // completions by machine id.
 func (f *Fleet) advanceParallel(t float64) []*Job {
 	p := f.ensurePool()
 	for f.now+f.eps() < t {
+		k := f.quiescentBatch(t)
 		for _, c := range p.wake {
-			c <- struct{}{}
+			c <- k
 		}
 		for i := 0; i < len(p.wake); i++ {
 			<-p.done
 		}
-		f.now += f.dt
+		f.bumpClock(k)
 		if comps := f.gatherComps(); len(comps) > 0 {
 			return comps
 		}

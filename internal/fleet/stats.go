@@ -48,6 +48,12 @@ type Stats struct {
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheRestored  int64 `json:"cache_restored"`
 	CacheEntries   int   `json:"cache_entries"`
+	// TickSolves/TickReplays report the engines' quiescent-interval
+	// fast-forward economics, summed over machines: ticks that ran a full
+	// flow build + memsys solve vs. ticks replayed from a cached solve.
+	// A healthy steady-state fleet replays most ticks.
+	TickSolves  int64 `json:"tick_solves"`
+	TickReplays int64 `json:"tick_replays"`
 	// LogRecords is the number of event-log lines written.
 	LogRecords int `json:"log_records"`
 }
@@ -103,6 +109,11 @@ func (f *Fleet) Stats() *Stats {
 		s.CacheHits += sh.cacheHits
 		s.CacheMisses += sh.cacheMisses
 		busy += sh.busyNodeSeconds
+	}
+	for _, m := range f.machines {
+		solves, replays := m.eng.FastForwardStats()
+		s.TickSolves += int64(solves)
+		s.TickReplays += int64(replays)
 	}
 	var wait, run, turn float64
 	for _, j := range f.jobs {

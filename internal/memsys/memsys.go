@@ -182,6 +182,9 @@ type Solver struct {
 	activeIdx []int32 // indices of unfrozen flows, ascending
 
 	res Result
+	// epoch counts Solve calls, so a caller holding the returned *Result
+	// can prove it still describes the most recent solve.
+	epoch uint64
 }
 
 // NewSolver returns a reusable solver for the system.
@@ -208,12 +211,21 @@ func (sv *Solver) path(i int32) []int32 {
 	return sv.pathBuf[sv.pathOff[i]:sv.pathOff[i+1]]
 }
 
+// Epoch returns the number of Solve calls performed on this solver. The
+// *Result a Solve returns is the solver's reusable buffer — stable in
+// identity, overwritten by the next Solve — so a cached pointer is valid
+// exactly while the epoch captured alongside it is unchanged. This is the
+// contract the simulation engine's quiescent-interval fast-forward relies
+// on to replay a solve bit for bit.
+func (sv *Solver) Epoch() uint64 { return sv.epoch }
+
 // Solve computes demand-bounded max-min fair rates for the given flows.
 // The returned Result shares the solver's buffers: it is valid only until
 // the next Solve call on this solver.
 func (sv *Solver) Solve(flows []Flow) *Result {
 	s := sv.sys
 	n := s.m.NumNodes()
+	sv.epoch++
 	res := &sv.res
 	res.Rates = grow(res.Rates, len(flows))
 	zero(res.Rates)

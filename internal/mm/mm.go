@@ -294,6 +294,12 @@ type Segment struct {
 
 	frac      []float64
 	fracDirty bool
+	// epoch counts placement changes (binds, faults, migrations) — the
+	// invalidation signal behind the simulation engine's quiescent-interval
+	// fast-forward: a segment whose epoch is unchanged since the last flow
+	// solve contributes byte-identical Fractions(), so the solve can be
+	// replayed instead of recomputed.
+	epoch uint64
 }
 
 // AddressSpace is the set of segments of one simulated process.
@@ -307,6 +313,9 @@ type AddressSpace struct {
 	// pendingMigrated counts migrations since the last Drain; the engine
 	// drains it each tick to charge migration bandwidth cost.
 	pendingMigrated int64
+	// placeEpoch aggregates every segment's placement epoch (plus segment
+	// creation), so the engine checks one counter per address space.
+	placeEpoch uint64
 	// singleSeq caches one-node sequences so faults and binds share them.
 	singleSeq [][]topology.NodeID
 }
@@ -364,8 +373,16 @@ func (as *AddressSpace) AddSegment(name string, length uint64, owner topology.No
 	as.nextAddr += uint64(n) * PageSize
 	as.segments = append(as.segments, s)
 	as.byName[name] = s
+	as.placeEpoch++
 	return s
 }
+
+// PlacementEpoch returns a counter that advances on every placement
+// change in any of the address space's segments (and on segment
+// creation). Two reads returning the same value bracket an interval in
+// which every segment's page→node assignment — and therefore every
+// Fractions() view — was bit-identical.
+func (as *AddressSpace) PlacementEpoch() uint64 { return as.placeEpoch }
 
 // Segments returns the segments in creation order. The slice is shared;
 // do not modify it.
@@ -418,6 +435,21 @@ func (s *Segment) Owner() topology.NodeID { return s.owner }
 // Runs returns the number of placement runs the segment currently holds —
 // an observability hook for fragmentation monitoring.
 func (s *Segment) Runs() int { return len(s.runs) }
+
+// Epoch returns the segment's placement-change counter. It advances on
+// every operation that can alter the page→node assignment (faults, binds,
+// migrations), conservatively including no-op re-binds; it never advances
+// between them, which is what lets the engine reuse a cached flow solve
+// while the epoch stands still.
+func (s *Segment) Epoch() uint64 { return s.epoch }
+
+// touch records a (possible) placement change: the cached fraction view is
+// stale and both the segment's and the address space's epochs advance.
+func (s *Segment) touch() {
+	s.fracDirty = true
+	s.epoch++
+	s.as.placeEpoch++
+}
 
 // runIndex returns the index of the run containing page i.
 func (s *Segment) runIndex(i int) int {
@@ -527,7 +559,7 @@ func (s *Segment) replaceRange(a, b int, np pattern, move bool) {
 		}
 	}
 	s.runs, s.runsAlt = out, s.runs
-	s.fracDirty = true
+	s.touch()
 	if migrated > 0 {
 		s.as.migratedBytes += migrated * PageSize
 		s.as.pendingMigrated += migrated * PageSize
@@ -766,7 +798,7 @@ scan:
 	s.applyEdits(edits)
 	s.as.migratedBytes += moved * PageSize
 	s.as.pendingMigrated += moved * PageSize
-	s.fracDirty = true
+	s.touch()
 	return moved * PageSize, nil
 }
 

@@ -452,3 +452,66 @@ func TestMbindNodeOrderIrrelevant(t *testing.T) {
 		t.Fatalf("dedup failed: %v", counts)
 	}
 }
+
+// TestPlacementEpochs pins the invalidation contract behind the engine's
+// quiescent-interval fast-forward: every operation that can change a
+// page→node assignment advances both the segment's Epoch and the address
+// space's aggregated PlacementEpoch; pure reads never do.
+func TestPlacementEpochs(t *testing.T) {
+	as := NewAddressSpace(4)
+	base := as.PlacementEpoch()
+	s := as.AddSegment("d", PageSize*16, SharedOwner)
+	if as.PlacementEpoch() == base {
+		t.Fatal("AddSegment did not advance the address-space epoch")
+	}
+
+	// Each mutation class advances both counters.
+	step := func(name string, f func()) {
+		t.Helper()
+		se, ae := s.Epoch(), as.PlacementEpoch()
+		f()
+		if s.Epoch() == se {
+			t.Fatalf("%s did not advance the segment epoch", name)
+		}
+		if as.PlacementEpoch() == ae {
+			t.Fatalf("%s did not advance the address-space epoch", name)
+		}
+	}
+	step("Fault", func() { s.Fault(3, 1) })
+	step("FaultAll", func() { s.FaultAll(0) })
+	step("Mbind", func() {
+		if err := s.Mbind(0, s.Length(), []topology.NodeID{0, 1}, MoveFlag); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A re-bind of the identical range and set is conservatively counted
+	// as a change (the runs are rebuilt either way).
+	step("no-op re-bind", func() {
+		if err := s.Mbind(0, s.Length(), []topology.NodeID{0, 1}, MoveFlag); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("MbindWeighted", func() {
+		if err := s.MbindWeighted([]float64{0.5, 0.3, 0.2, 0}, MoveFlag); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("MigrateToward", func() {
+		if n, err := s.MigrateToward([]float64{0, 0, 0, 1}, PageSize*4); err != nil || n == 0 {
+			t.Fatalf("migrate moved %d bytes, err %v", n, err)
+		}
+	})
+
+	// Reads and ineffective operations stand still.
+	se, ae := s.Epoch(), as.PlacementEpoch()
+	_ = s.Fractions()
+	_ = s.Counts()
+	_ = s.Node(5)
+	s.Fault(3, 2) // already mapped: first-touch is a no-op
+	if n, err := s.MigrateToward([]float64{0, 0, 0, 1}, 0); err != nil || n != 0 {
+		t.Fatalf("zero-budget migrate moved %d bytes, err %v", n, err)
+	}
+	if s.Epoch() != se || as.PlacementEpoch() != ae {
+		t.Fatal("reads or no-op operations advanced an epoch")
+	}
+}

@@ -87,6 +87,36 @@ func TestTickAllocationFreeCoScheduled(t *testing.T) {
 	}
 }
 
+// TestReplayAllocationFree pins the fast-forward acceptance criterion on
+// allocations: the memoized replay inner loop — both the checked per-tick
+// path and the unchecked ReplayTicks batch — performs zero heap
+// allocations, and the ticks measured really are replays, not solves.
+func TestReplayAllocationFree(t *testing.T) {
+	if noFastForwardEnv() {
+		t.Skip("BWAP_NO_FASTFORWARD=1 forces the naive path")
+	}
+	e := newSteadyEngine(t)
+	// Tick until the latency feedback reaches its fixed point and the
+	// engine goes quiescent.
+	for i := 0; i < 500; i++ {
+		e.tick()
+	}
+	if !e.canReplay() {
+		t.Fatal("engine did not reach quiescence after 500 ticks")
+	}
+	_, before := e.FastForwardStats()
+	if avg := testing.AllocsPerRun(200, e.tick); avg != 0 {
+		t.Fatalf("replayed tick allocates %.2f objects/op, want 0", avg)
+	}
+	_, after := e.FastForwardStats()
+	if after-before < 200 {
+		t.Fatalf("only %d of 200+ measured ticks were replays", after-before)
+	}
+	if avg := testing.AllocsPerRun(50, func() { e.ReplayTicks(20) }); avg != 0 {
+		t.Fatalf("ReplayTicks batch allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 // BenchmarkSteadyTick measures one steady-state tick in isolation (the
 // root BenchmarkEngineTickThroughput includes engine construction and
 // placement; this one is the pure loop).

@@ -24,6 +24,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync"
 
 	"bwap/internal/memsys"
 	"bwap/internal/mm"
@@ -33,6 +35,13 @@ import (
 	"bwap/internal/topology"
 	"bwap/internal/workload"
 )
+
+// noFastForwardEnv reports whether the BWAP_NO_FASTFORWARD=1 environment
+// knob forces the naive per-tick solve path — the CI switch that keeps the
+// reference implementation exercised.
+var noFastForwardEnv = sync.OnceValue(func() bool {
+	return os.Getenv("BWAP_NO_FASTFORWARD") == "1"
+})
 
 // Placer is a page-placement policy: it performs the initial placement of
 // an application's segments when the application starts. Policies that also
@@ -87,6 +96,13 @@ type Config struct {
 	StableAfter float64
 	// Seed derives the noise streams of any samplers hooks create.
 	Seed uint64
+	// DisableFastForward turns off the quiescent-interval fast-forward:
+	// every tick rebuilds its flow set and runs a full memsys solve, even
+	// when the inputs are provably unchanged. The fast path is bit-identical
+	// to this naive loop by construction; the switch keeps the naive loop
+	// alive as the reference implementation (the BWAP_NO_FASTFORWARD=1
+	// environment knob forces it on for a whole test run).
+	DisableFastForward bool
 }
 
 // FloatPtr returns a pointer to v, for the Config fields where nil means
@@ -117,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DemandFactor <= 0 {
 		c.DemandFactor = 1.0
+	}
+	if noFastForwardEnv() {
+		c.DisableFastForward = true
 	}
 	if c.StableAfter <= 0 {
 		c.StableAfter = defaultStableAfter
@@ -169,6 +188,16 @@ type App struct {
 	lastStallFrac float64
 	lastAchieved  float64
 	lastDemand    float64
+
+	// Quiescence bookkeeping, recorded when the engine caches a flow solve:
+	// the placement epoch and phase factors the solve was built from, and
+	// the total progress (GB) at which the app's next phase boundary falls
+	// (+Inf when none). A replayed tick is valid only while these still
+	// describe the app.
+	solveASEpoch uint64
+	solvePhase   float64
+	solveKappa   float64
+	nextPhaseGB  float64
 }
 
 // SharedSegment returns the app's shared-data segment (nil if the workload
@@ -253,6 +282,22 @@ type Engine struct {
 	metas        []flowMeta
 	tickAchieved []float64
 	tickRawRatio []float64
+
+	// Quiescent-interval fast-forward state. A tick whose inputs (app set,
+	// placements, phase factors, latency multipliers) are unchanged since
+	// the cached solve replays the cached per-flow rates — the same
+	// floating-point additions in the same order, so results stay
+	// byte-identical — instead of rebuilding flows and solving again.
+	ff         bool           // fast-forward enabled
+	lastRes    *memsys.Result // cached solve; owned by e.solver
+	solveValid bool           // lastRes matches flows/metas from a real solve
+	stateEpoch uint64         // app set / placement lifecycle epoch
+	latEpoch   uint64         // bumped when latency feedback changes latMult
+	solveState uint64         // stateEpoch captured at the cached solve
+	solveLat   uint64         // latEpoch captured at the cached solve
+	solveSolve uint64         // solver epoch captured at the cached solve
+	ffSolves   int            // ticks that ran a full flow build + solve
+	ffReplays  int            // ticks served from the cached solve
 }
 
 type rngState struct{ next uint64 }
@@ -281,6 +326,7 @@ func New(m *topology.Machine, cfg Config) *Engine {
 		memCfg:  *cfg.Mem,
 		latQF:   *cfg.LatQueueFactor,
 		solver:  sys.NewSolver(),
+		ff:      !cfg.DisableFastForward,
 	}
 }
 
@@ -368,6 +414,7 @@ func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.Node
 		}
 	}
 	e.apps = append(e.apps, app)
+	e.stateEpoch++
 	return app, nil
 }
 
@@ -387,7 +434,10 @@ type Result struct {
 }
 
 // Run places every app, then ticks until all foreground apps complete (or
-// MaxTime elapses). It may be called once per engine.
+// MaxTime elapses). It may be called once per engine. Quiescent stretches
+// are fast-forwarded: the cached flow solve is replayed tick by tick (bit-
+// identical to solving each tick) until the next phase boundary or the
+// analytically predicted completion.
 func (e *Engine) Run() (*Result, error) {
 	if err := e.place(); err != nil {
 		return nil, err
@@ -396,6 +446,9 @@ func (e *Engine) Run() (*Result, error) {
 	for !e.allForegroundDone() {
 		if e.now >= e.Cfg.MaxTime {
 			return e.result(true), nil
+		}
+		if k := e.QuiescentTicks(e.ticksBefore(e.Cfg.MaxTime)); k > 0 && e.ReplayTicks(k) > 0 {
+			continue
 		}
 		e.tick()
 	}
@@ -446,6 +499,7 @@ func (e *Engine) PlaceApp(a *App) error {
 	// backlog starts clean.
 	a.AS.DrainMigratedBytes()
 	a.placed = true
+	e.stateEpoch++
 	return nil
 }
 
@@ -480,6 +534,7 @@ func (e *Engine) RemoveApp(a *App) error {
 		e.hooks[i] = hookEntry{} // release removed hooks for GC
 	}
 	e.hooks = kept
+	e.stateEpoch++
 	return nil
 }
 
@@ -494,10 +549,63 @@ func (e *Engine) Step() { e.tick() }
 // externally scheduled event advances to it, mutates the app set
 // (AddApp/PlaceApp/RemoveApp), and resumes. Unlike Run it does not stop
 // when foreground apps finish; poll Apps()[i].Done() between calls.
+//
+// The tick count is computed once from (t − now)/DT and the loop runs on
+// an integer counter: the clock's repeated += DT accumulation can drift by
+// several ULPs over a long advance, and re-testing `now + DT/2 < t` per
+// tick made the tick count depend on that drift (over- or under-ticking
+// for large t).
 func (e *Engine) AdvanceTo(t float64) {
-	for e.now+e.Cfg.DT/2 < t {
+	for n := e.remainingTicks(t); n > 0; n-- {
 		e.tick()
 	}
+}
+
+// AdvanceToQuiescent advances to time t exactly like AdvanceTo, but
+// fast-forwards quiescent stretches: while the tick inputs are provably
+// unchanged it replays the cached solve in a tight inner loop without
+// per-tick revalidation, stopping at the earliest invalidating boundary
+// (phase/init crossing, predicted completion) and resuming the checked
+// loop there. Byte-identical to AdvanceTo for any t.
+func (e *Engine) AdvanceToQuiescent(t float64) {
+	n := e.remainingTicks(t)
+	for n > 0 {
+		if k := e.QuiescentTicks(n); k > 0 {
+			if ran := e.ReplayTicks(k); ran > 0 {
+				n -= ran
+				continue
+			}
+		}
+		e.tick()
+		n--
+	}
+}
+
+// remainingTicks returns how many ticks AdvanceTo(t) still has to run:
+// the count a drift-free `now + DT/2 < t` loop would execute.
+func (e *Engine) remainingTicks(t float64) int {
+	n := math.Ceil((t-e.now)/e.Cfg.DT - 0.5)
+	if n <= 0 || math.IsNaN(n) {
+		return 0
+	}
+	if n > 1<<40 {
+		n = 1 << 40
+	}
+	return int(n)
+}
+
+// ticksBefore returns a conservative count of ticks that keep the clock
+// strictly below t — the bound Run hands to QuiescentTicks so a replay
+// batch never crosses MaxTime.
+func (e *Engine) ticksBefore(t float64) int {
+	n := (t - e.now) / e.Cfg.DT
+	if !(n > 0) { // also catches NaN
+		return 0
+	}
+	if !(n < 1<<40) { // clamp before int(): out-of-range conversion wraps
+		n = 1 << 40
+	}
+	return max(int(n)-1, 0)
 }
 
 // prepare sizes the per-app tick scratch once the app set is final.
@@ -553,9 +661,67 @@ type flowMeta struct {
 // tick advances the simulation by one DT. All intermediate state lives in
 // buffers reused across ticks: at steady state a tick performs no heap
 // allocation (pinned by TestTickAllocationFree).
+//
+// The tick is memoized: when canReplay proves the flow-solve inputs are
+// bit-identical to the cached solve's, the expensive half (flow rebuild,
+// segment Fractions, throttle, memsys.Solve) is skipped and the cached
+// per-flow rates are replayed through the same attribution, progress and
+// feedback code — the identical floating-point additions in the identical
+// order, so a replayed tick is byte-equal to a solved one by construction.
 func (e *Engine) tick() {
 	e.prepare()
-	dt := e.Cfg.DT
+	if e.ff && e.canReplay() {
+		e.ffReplays++
+	} else {
+		e.buildFlows()
+		e.lastRes = e.solver.Solve(e.flows)
+		e.ffSolves++
+		e.noteSolve()
+	}
+	e.attribute()
+	e.advanceApps()
+	e.feedback()
+	for _, he := range e.hooks {
+		he.h.Tick(e)
+	}
+	e.now += e.Cfg.DT
+	e.ticks++
+}
+
+// phaseFactors returns the demand and latency factors a tick starting at
+// the current clock applies to app a — the only tick inputs that change
+// with time and progress rather than through an epoch-counted mutation.
+func (e *Engine) phaseFactors(a *App) (phase, kappaFactor float64) {
+	phase = 1.0
+	kappaFactor = 1.0
+	if len(a.Spec.Phases) > 0 && a.workGB > 0 {
+		phase, kappaFactor = a.Spec.PhaseAt(a.Progress() / a.workGB)
+	}
+	if a.Spec.InitSeconds > 0 && e.now-a.start < a.Spec.InitSeconds {
+		// Initialization phases (allocation, input parsing) have
+		// erratic memory behaviour — the reason the paper defers
+		// BWAP-init to the stable phase. A deterministic pseudo-random
+		// burst pattern around the init demand level models that: the
+		// MAPI phase detector must not see a steady signal before the
+		// boundary.
+		slot := uint64((e.now - a.start) / 0.3)
+		h := slot*2654435761 + 0x9e3779b9
+		h ^= h >> 13
+		u := float64(h%1000) / 1000
+		phase = a.Spec.InitDemandFactor * (0.3 + 1.4*u)
+		kappaFactor = 1
+	}
+	return phase, kappaFactor
+}
+
+// inInit reports whether a is inside its initialization burst window, in
+// which demand changes every 0.3 s slot.
+func (e *Engine) inInit(a *App) bool {
+	return a.Spec.InitSeconds > 0 && e.now-a.start < a.Spec.InitSeconds
+}
+
+// buildFlows turns every running app's demand into the per-tick flow set.
+func (e *Engine) buildFlows() {
 	flows := e.flows[:0]
 	metas := e.metas[:0]
 
@@ -564,25 +730,8 @@ func (e *Engine) tick() {
 			continue
 		}
 		a.lastDemand = 0
-		phase := 1.0
-		kappaFactor := 1.0
-		if len(a.Spec.Phases) > 0 && a.workGB > 0 {
-			phase, kappaFactor = a.Spec.PhaseAt(a.Progress() / a.workGB)
-		}
-		if a.Spec.InitSeconds > 0 && e.now-a.start < a.Spec.InitSeconds {
-			// Initialization phases (allocation, input parsing) have
-			// erratic memory behaviour — the reason the paper defers
-			// BWAP-init to the stable phase. A deterministic pseudo-random
-			// burst pattern around the init demand level models that: the
-			// MAPI phase detector must not see a steady signal before the
-			// boundary.
-			slot := uint64((e.now - a.start) / 0.3)
-			h := slot*2654435761 + 0x9e3779b9
-			h ^= h >> 13
-			u := float64(h%1000) / 1000
-			phase = a.Spec.InitDemandFactor * (0.3 + 1.4*u)
-			kappaFactor = 1
-		}
+		phase, kappaFactor := e.phaseFactors(a)
+		a.solvePhase, a.solveKappa = phase, kappaFactor
 		perThreadRead := a.Spec.PerThreadReadGBs() * e.Cfg.DemandFactor * phase
 		perThreadWrite := a.Spec.PerThreadWriteGBs() * e.Cfg.DemandFactor * phase
 		rawPerThread := perThreadRead + perThreadWrite
@@ -645,12 +794,70 @@ func (e *Engine) tick() {
 		}
 	}
 	e.flows, e.metas = flows, metas
+}
 
-	res := e.solver.Solve(flows)
+// noteSolve captures the inputs the solve just consumed, so later ticks
+// can prove (canReplay) that replaying its rates is byte-equal to solving
+// again. buildFlows already stored each app's phase factors.
+func (e *Engine) noteSolve() {
+	e.solveValid = true
+	e.solveState = e.stateEpoch
+	e.solveLat = e.latEpoch
+	e.solveSolve = e.solver.Epoch()
+	for _, a := range e.apps {
+		if a.done || !a.placed {
+			continue
+		}
+		a.solveASEpoch = a.AS.PlacementEpoch()
+		a.nextPhaseGB = math.Inf(1)
+		if len(a.Spec.Phases) > 0 && a.workGB > 0 {
+			frac := a.Progress() / a.workGB
+			for _, ph := range a.Spec.Phases {
+				if ph.AtWorkFraction > frac {
+					a.nextPhaseGB = ph.AtWorkFraction * a.workGB
+					break
+				}
+			}
+		}
+	}
+}
 
-	// Attribute achieved rates, per app and per worker node. Progress is
-	// accounted in raw bytes (reads+writes), so write-heavy workloads pay
-	// the controller's write penalty in completion time.
+// canReplay reports whether the cached solve's inputs are bit-identical to
+// the ones buildFlows would produce right now: same app set and lifecycle
+// state (stateEpoch), same placements (per-address-space epochs), same
+// phase/init demand factors, and the same latency multipliers the throttle
+// would read (latEpoch — unchanged exactly when the feedback loop reached
+// its floating-point fixed point). Identical inputs make the solver — a
+// deterministic function — return identical rates, so replaying the cache
+// is equality, not approximation.
+func (e *Engine) canReplay() bool {
+	if !e.solveValid || e.stateEpoch != e.solveState || e.latEpoch != e.solveLat ||
+		e.solveSolve != e.solver.Epoch() {
+		return false
+	}
+	for _, a := range e.apps {
+		if a.done || !a.placed {
+			continue
+		}
+		if a.AS.PlacementEpoch() != a.solveASEpoch {
+			return false
+		}
+		phase, kappa := e.phaseFactors(a)
+		if phase != a.solvePhase || kappa != a.solveKappa {
+			return false
+		}
+	}
+	return true
+}
+
+// attribute spreads the solved per-flow rates over apps, workers and PMU
+// counters. Progress is accounted in raw bytes (reads+writes), so
+// write-heavy workloads pay the controller's write penalty in completion
+// time.
+func (e *Engine) attribute() {
+	dt := e.Cfg.DT
+	flows, metas := e.flows, e.metas
+	res := e.lastRes
 	achieved := e.tickAchieved
 	rawRatioOf := e.tickRawRatio
 	for _, a := range e.apps {
@@ -679,7 +886,17 @@ func (e *Engine) tick() {
 			c.SharedBytes += raw
 		}
 	}
+}
 
+// advanceApps charges migration cost, updates stall accounting and worker
+// progress, and detects completions. It reports whether the tick hit a
+// quiescence boundary — an app completed or crossed its next phase
+// threshold — which is what ends an unchecked replay batch.
+func (e *Engine) advanceApps() bool {
+	dt := e.Cfg.DT
+	achieved := e.tickAchieved
+	rawRatioOf := e.tickRawRatio
+	boundary := false
 	for _, a := range e.apps {
 		if a.done || !a.placed {
 			continue
@@ -740,23 +957,154 @@ func (e *Engine) tick() {
 				if lastFraction == 0 {
 					a.finish = e.now + dt
 				}
+				// A departed flow set invalidates the cached solve.
+				e.stateEpoch++
+				boundary = true
+			} else if a.Progress() >= a.nextPhaseGB {
+				// Crossed into the next phase: the following tick's demand
+				// factors change, so a replay batch must stop here.
+				boundary = true
 			}
 		}
 	}
+	return boundary
+}
 
-	// Latency feedback: loaded controllers answer slower next tick.
+// feedback applies the queueing-latency feedback: loaded controllers
+// answer slower next tick. latEpoch advances only when some multiplier
+// actually changes; once the exponential smoothing reaches its
+// floating-point fixed point under stable utilization the epoch stands
+// still — one of the quiescence conditions.
+func (e *Engine) feedback() {
 	sm := e.Cfg.LatSmoothing
-	for i, u := range res.ControllerUtil {
+	changed := false
+	for i, u := range e.lastRes.ControllerUtil {
 		u = stats.Clamp(u, 0, 1)
 		target := 1 + e.latQF*u*u/(1.02-u)
-		e.latMult[i] = (1-sm)*e.latMult[i] + sm*target
+		next := (1-sm)*e.latMult[i] + sm*target
+		if next != e.latMult[i] {
+			e.latMult[i] = next
+			changed = true
+		}
 	}
+	if changed {
+		e.latEpoch++
+	}
+}
 
-	for _, he := range e.hooks {
-		he.h.Tick(e)
+// ReplayTicks advances up to n ticks on the memoized replay path without
+// per-tick revalidation: no epoch checks, no latency feedback (provably a
+// no-op while quiescent) and no hook dispatch. It stops after a tick that
+// hits a boundary — an app completing or crossing a phase threshold, both
+// detected exactly from the live progress values — and returns the number
+// of ticks advanced. 0 means the engine is not replayable right now
+// (stale solve, hooks registered, or an app inside its init burst);
+// callers fall back to Step. Every tick it advances is byte-identical to
+// a full Step.
+func (e *Engine) ReplayTicks(n int) int {
+	if n <= 0 || !e.ff || len(e.hooks) > 0 || !e.canReplay() {
+		return 0
 	}
-	e.now += dt
-	e.ticks++
+	for _, a := range e.apps {
+		if !a.done && a.placed && e.inInit(a) {
+			return 0 // init-burst demand changes every 0.3 s slot
+		}
+	}
+	dt := e.Cfg.DT
+	for i := 0; i < n; i++ {
+		e.attribute()
+		boundary := e.advanceApps()
+		e.now += dt
+		e.ticks++
+		e.ffReplays++
+		if boundary {
+			return i + 1
+		}
+	}
+	return n
+}
+
+// QuiescentTicks returns a conservative count of upcoming ticks (at most
+// max) that are provably interior to the current quiescent interval: the
+// cached solve replays, no app completes, and no phase or init boundary is
+// crossed. The fleet layer uses it to advance whole machines without
+// re-entering the per-tick shard barrier. 0 means "not quiescent" (or a
+// boundary is too close to be worth batching past the checked loop).
+//
+// Completion and phase crossings are predicted analytically from the
+// constant per-tick progress deltas, shaved by a relative safety margin
+// (1e-9, plus two ticks) that dominates worst-case floating-point
+// accumulation drift for any realistic run length; the replay loop's exact
+// per-tick boundary checks backstop the prediction regardless.
+func (e *Engine) QuiescentTicks(limit int) int {
+	if limit <= 0 || !e.ff || len(e.hooks) > 0 || !e.canReplay() {
+		return 0
+	}
+	// Cap each batch so the within-batch float accumulation (≤ batch ×
+	// ulp(share)/2 in progress units) stays orders of magnitude below the
+	// boundaryTicks margin even for extremely slow workers; longer
+	// quiescent spans simply take several batches, each re-predicted from
+	// the live float state.
+	n := min(limit, 1<<20)
+	dt := e.Cfg.DT
+	for _, a := range e.apps {
+		if a.done || !a.placed {
+			continue
+		}
+		if e.inInit(a) {
+			return 0
+		}
+		if a.Background {
+			continue // no progress, no completion, constant phase factors
+		}
+		rawRatio := e.tickRawRatio[a.index]
+		eta := a.Spec.ParallelEfficiency(len(a.Workers))
+		// Replay ticks add a constant delta per worker (identical rates;
+		// migration cost only ever slows progress further, so these deltas
+		// upper-bound it and the tick predictions stay lower bounds).
+		if len(a.Spec.Phases) > 0 && a.workGB > 0 && !math.IsInf(a.nextPhaseGB, 1) {
+			total := 0.0
+			for wi := range a.Workers {
+				total += a.tickByWorker[wi] * rawRatio * eta * dt
+			}
+			n = min(n, boundaryTicks(a.nextPhaseGB-a.Progress(), total))
+		}
+		// Completion fires when the slowest worker reaches its share, so
+		// the largest per-worker lower bound bounds the completion tick.
+		share := a.workGB / float64(len(a.Workers))
+		comp := 0
+		for wi := range a.Workers {
+			if p := a.progressGB[wi]; p < share {
+				delta := a.tickByWorker[wi] * rawRatio * eta * dt
+				comp = max(comp, boundaryTicks(share-p, delta))
+			}
+		}
+		n = min(n, comp)
+	}
+	return n
+}
+
+// boundaryTicks lower-bounds how many constant-delta ticks fit strictly
+// below gap, with the safety margin described at QuiescentTicks.
+func boundaryTicks(gap, delta float64) int {
+	if !(delta > 0) || !(gap > 0) {
+		return 1 << 40 // no progress toward the boundary: never reached
+	}
+	t := gap/delta*(1-1e-9) - 2
+	if t <= 0 {
+		return 0
+	}
+	if t > 1<<40 {
+		return 1 << 40
+	}
+	return int(t)
+}
+
+// FastForwardStats reports the tick-loop economics since construction:
+// solves is the number of ticks that rebuilt flows and ran a full
+// memsys solve, replays the number served from the cached solve.
+func (e *Engine) FastForwardStats() (solves, replays int) {
+	return e.ffSolves, e.ffReplays
 }
 
 // throttle computes the latency-driven demand suppression for a worker on
