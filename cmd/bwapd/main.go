@@ -27,6 +27,14 @@
 //	bwapd -log fleet-events.jsonl           # mirror the event log to disk
 //	bwapd -cache-file tuning.json           # warm-startable tuning cache
 //	bwapd -replay fleet-events.jsonl -cache-file tuning.json
+//	bwapd -fault-plan chaos.json            # deterministic crash/drain schedule
+//
+// Machines have a lifecycle: a -fault-plan file (see fleet.FaultPlan)
+// schedules deterministic crashes, drains, recoveries and fleet growth,
+// and the /drain and /recover endpoints do the same interactively.
+// Drained machines evacuate their jobs gracefully (progress preserved);
+// crashed machines kill them, and the jobs retry with capped exponential
+// backoff up to -max-retries before failing terminally.
 //
 // Endpoints:
 //
@@ -35,6 +43,9 @@
 //	GET  /jobs
 //	GET  /fleet
 //	GET  /shards
+//	GET  /machines
+//	POST /drain?machine=0
+//	POST /recover?machine=0
 //	GET  /log
 //	GET  /healthz
 package main
@@ -73,6 +84,8 @@ func main() {
 	cacheFile := flag.String("cache-file", "", "tuning-cache snapshot: loaded on boot if present, saved on shutdown")
 	cacheMax := flag.Int("cache-max-entries", 0, "LRU bound on cached placements (0 = unbounded)")
 	maxQueue := flag.Int("max-queue", 0, "reject submissions once this many jobs wait for admission (0 = unbounded)")
+	faultPlan := flag.String("fault-plan", "", "JSON FaultPlan injecting deterministic crashes/drains/recoveries/machine-adds")
+	maxRetries := flag.Int("max-retries", 3, "per-job retry budget for crash-killed jobs (negative = no retries)")
 	replayPath := flag.String("replay", "", "replay a recorded JSONL event log instead of serving, then exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for in-situ profiling of the fleet hot paths")
 	flag.Parse()
@@ -111,10 +124,28 @@ func main() {
 			fmt.Printf("bwapd: warm start — restored %d cached placements from %s\n", n, *cacheFile)
 		case os.IsNotExist(err):
 			fmt.Printf("bwapd: cold start — %s will be written on shutdown\n", *cacheFile)
+		case errors.Is(err, fleet.ErrBadSnapshot):
+			// A corrupt or stale-format snapshot is recoverable: the daemon
+			// boots cold and overwrites the bad file on shutdown. Only real
+			// I/O problems (unreadable file, permission) abort the boot.
+			fmt.Fprintf(os.Stderr, "bwapd: ignoring unusable cache snapshot: %v\n", err)
+			fmt.Printf("bwapd: cold start — %s will be rewritten on shutdown\n", *cacheFile)
 		default:
 			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	var faults *fleet.FaultPlan
+	if *faultPlan != "" {
+		var err error
+		if faults, err = fleet.LoadFaultPlan(*faultPlan); err != nil {
+			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *maxRetries == 0 {
+		*maxRetries = -1 // flag 0 means "no retries"; Config 0 means default
 	}
 
 	cfg := fleet.Config{
@@ -128,6 +159,8 @@ func main() {
 		Policy:         *policy,
 		RetuneDelay:    *retune,
 		MaxQueue:       *maxQueue,
+		Faults:         faults,
+		MaxRetries:     *maxRetries,
 		Seed:           *seed,
 		ProbeWorkScale: *probeScale,
 		Cache:          cache,

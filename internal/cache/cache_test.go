@@ -294,3 +294,54 @@ func TestSingleFlight(t *testing.T) {
 		t.Fatalf("Stats = %d hits / %d misses, want %d/1", hits, misses, goroutines-1)
 	}
 }
+
+// TestRestoreBadSnapshots is the corrupt-snapshot table: every class of
+// unusable payload — truncation, garbage, wrong version, wrong shape —
+// returns an error wrapping ErrBadSnapshot and leaves the cache exactly as
+// it was: same length, same entries, still serving computes. This is the
+// contract bwapd's boot path relies on to warm-start opportunistically and
+// fall back to a cold cache on anything unusable.
+func TestRestoreBadSnapshots(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("not json")},
+		{"truncated", []byte(`{"version":1,"entries":[{"key":"a"`)},
+		{"wrong version", []byte(`{"version":99,"entries":[]}`)},
+		{"future version", []byte(`{"version":2,"entries":[{"key":"a","value":1}]}`)},
+		{"wrong shape", []byte(`{"version":"one","entries":{}}`)},
+		{"array root", []byte(`[1,2,3]`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New[int]()
+			if _, _, err := c.Get("live", func() (int, error) { return 7, nil }); err != nil {
+				t.Fatal(err)
+			}
+			n, err := c.Restore(tc.data)
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("Restore = %v, want ErrBadSnapshot", err)
+			}
+			if n != 0 {
+				t.Fatalf("Restore reported %d entries from a bad snapshot", n)
+			}
+			if c.Len() != 1 || c.Restored() != 0 {
+				t.Fatalf("bad snapshot mutated the cache: len %d, restored %d", c.Len(), c.Restored())
+			}
+			v, hit, err := c.Get("live", func() (int, error) { return 0, errors.New("recompute") })
+			if err != nil || !hit || v != 7 {
+				t.Fatalf("cache unusable after failed restore: %d, %v, %v", v, hit, err)
+			}
+		})
+	}
+	// A valid snapshot still loads after any number of failed attempts.
+	c := New[int]()
+	if _, err := c.Restore([]byte(`not json`)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatal("garbage restore not flagged")
+	}
+	if n, err := c.Restore([]byte(`{"version":1,"entries":[{"key":"k","value":3}]}`)); err != nil || n != 1 {
+		t.Fatalf("good restore after bad: %d, %v", n, err)
+	}
+}

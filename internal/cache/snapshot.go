@@ -2,12 +2,19 @@ package cache
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 )
 
 // SnapshotVersion is the serialization format version Snapshot writes and
 // Restore accepts.
 const SnapshotVersion = 1
+
+// ErrBadSnapshot wraps every Restore failure caused by the snapshot data
+// itself — truncation, garbage, a wrong format version. Callers detect it
+// with errors.Is and continue with a cold cache: a failed Restore never
+// modifies the cache, so it stays fully usable.
+var ErrBadSnapshot = errors.New("cache: bad snapshot")
 
 // snapshot is the versioned serialized form of a cache: completed,
 // error-free entries in most-recently-used-first order, so a restore
@@ -50,10 +57,10 @@ func (c *Cache[V]) Snapshot() ([]byte, error) {
 func (c *Cache[V]) Restore(data []byte) (int, error) {
 	var s snapshot[V]
 	if err := json.Unmarshal(data, &s); err != nil {
-		return 0, fmt.Errorf("cache: restore: %w", err)
+		return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if s.Version != SnapshotVersion {
-		return 0, fmt.Errorf("cache: restore: snapshot version %d, want %d", s.Version, SnapshotVersion)
+		return 0, fmt.Errorf("%w: snapshot version %d, want %d", ErrBadSnapshot, s.Version, SnapshotVersion)
 	}
 	var added []string
 	c.mu.Lock()

@@ -1,22 +1,33 @@
 package fleet
 
-// The fleet scheduler is a deterministic discrete-event loop. Three event
+// The fleet scheduler is a deterministic discrete-event loop. Eight event
 // kinds exist; their ordering at equal timestamps is part of the replay
 // contract (DESIGN.md):
 //
-//	completion < arrival < retune
+//	completion < crash < drain < recover < machine-add < arrival < retry < retune
 //
-// Completions sort first so a departing job frees its nodes before an
-// arrival at the same instant asks for capacity; retunes sort last so they
-// see the post-churn job set. Ties within a kind break on the event's push
-// sequence number, which is itself deterministic because every push happens
-// at a deterministic point of the loop.
-
+// Completions sort first so a departing job frees its nodes — and counts
+// as finished — before anything else at the same instant touches its
+// machine; in particular a job whose interpolated finish time coincides
+// with a crash completes rather than being killed. The machine-lifecycle
+// kinds come next, failures before repairs: a crash at the same instant as
+// a drain wins (the graceful path must not pretend to evacuate jobs a
+// crash already killed), and recover/machine-add restore capacity before
+// arrivals at the same instant ask for it. Crash-retry re-entries sort
+// after fresh arrivals, and retunes sort last so they see the post-churn
+// job set. Ties within a kind break on the event's push sequence number,
+// which is itself deterministic because every push happens at a
+// deterministic point of the loop.
 type eventKind int
 
 const (
 	evComplete eventKind = iota
+	evCrash
+	evDrain
+	evRecover
+	evMachineAdd
 	evArrive
+	evRetry
 	evRetune
 )
 
@@ -24,8 +35,18 @@ func (k eventKind) String() string {
 	switch k {
 	case evComplete:
 		return "complete"
+	case evCrash:
+		return "crash"
+	case evDrain:
+		return "drain"
+	case evRecover:
+		return "recover"
+	case evMachineAdd:
+		return "machine-add"
 	case evArrive:
 		return "arrive"
+	case evRetry:
+		return "retry"
 	case evRetune:
 		return "retune"
 	}
@@ -37,8 +58,8 @@ type event struct {
 	t    float64
 	kind eventKind
 	seq  int  // monotonic push counter; final tie-break
-	job  *Job // arrivals and completions
-	mach int  // completions and retunes; -1 otherwise
+	job  *Job // arrivals, retries and completions
+	mach int  // machine-scoped kinds (completion, retune, crash, drain, recover); -1 otherwise
 }
 
 // eventLess is the scheduling order: (t, kind, seq). Sequence numbers are

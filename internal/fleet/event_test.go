@@ -7,18 +7,34 @@ import (
 )
 
 // TestEventHeapKindTiebreak pins the exact tiebreak replay determinism
-// depends on: at equal timestamps, completions pop before arrivals pop
-// before retunes, regardless of push order.
+// depends on: at equal timestamps, the eight kinds pop in the documented
+// order — completion, crash, drain, recover, machine-add, arrival, retry,
+// retune — regardless of push order.
 func TestEventHeapKindTiebreak(t *testing.T) {
+	want := []eventKind{evComplete, evCrash, evDrain, evRecover, evMachineAdd, evArrive, evRetry, evRetune}
 	var h eventHeap
-	heap.Push(&h, &event{t: 1, kind: evRetune, seq: 1})
-	heap.Push(&h, &event{t: 1, kind: evArrive, seq: 2})
-	heap.Push(&h, &event{t: 1, kind: evComplete, seq: 3})
-	want := []eventKind{evComplete, evArrive, evRetune}
+	for i := len(want) - 1; i >= 0; i-- { // reverse push order
+		heap.Push(&h, &event{t: 1, kind: want[i], seq: len(want) - i})
+	}
 	for i, k := range want {
 		ev := heap.Pop(&h).(*event)
 		if ev.kind != k {
 			t.Fatalf("pop %d: kind %v, want %v", i, ev.kind, k)
+		}
+	}
+}
+
+// TestEventKindOrderPinned freezes the numeric slots: reordering the enum
+// would silently reorder same-timestamp events and break replay of every
+// recorded log.
+func TestEventKindOrderPinned(t *testing.T) {
+	slots := map[eventKind]int{
+		evComplete: 0, evCrash: 1, evDrain: 2, evRecover: 3,
+		evMachineAdd: 4, evArrive: 5, evRetry: 6, evRetune: 7,
+	}
+	for k, want := range slots {
+		if int(k) != want {
+			t.Fatalf("event kind %v has slot %d, want %d", k, int(k), want)
 		}
 	}
 }
@@ -67,7 +83,7 @@ func TestEventHeapPopOrderProperty(t *testing.T) {
 			seq++
 			ev := &event{
 				t:    times[rng.Intn(len(times))],
-				kind: eventKind(rng.Intn(3)),
+				kind: eventKind(rng.Intn(8)),
 				seq:  seq,
 			}
 			heap.Push(&h, ev)

@@ -101,6 +101,19 @@ type Config struct {
 	// pre-submitted streams (SubmitStream, replay) are unaffected unless
 	// the backlog genuinely builds.
 	MaxQueue int
+	// Faults optionally injects a deterministic machine-lifecycle schedule
+	// (crashes, drains, recoveries, fleet growth); see FaultPlan. The plan
+	// is materialized and validated at New.
+	Faults *FaultPlan
+	// MaxRetries is the per-job retry budget for crash-killed jobs: a job
+	// killed more than MaxRetries times fails terminally (default 3;
+	// negative means no retries).
+	MaxRetries int
+	// RetryBackoff is the base crash-retry delay in simulated seconds; the
+	// k-th retry waits RetryBackoff·2^(k−1), capped at RetryBackoffCap
+	// (defaults 2 and 60).
+	RetryBackoff    float64
+	RetryBackoffCap float64
 	// Seed derives the arrival streams, engine seeds and probe seeds.
 	Seed uint64
 	// ProbeWorkScale scales tuning-probe work volumes (default
@@ -138,6 +151,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxSimTime <= 0 {
 		c.MaxSimTime = 1e6
 	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 3
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 60
+	}
 	return c
 }
 
@@ -153,6 +178,11 @@ const (
 	JobRunning
 	// JobDone means the job completed.
 	JobDone
+	// JobRetryWait means a crash killed the job and its retry backoff is
+	// ticking.
+	JobRetryWait
+	// JobFailed means the job exhausted its retry budget — terminal.
+	JobFailed
 )
 
 func (s JobState) String() string {
@@ -165,6 +195,10 @@ func (s JobState) String() string {
 		return "running"
 	case JobDone:
 		return "done"
+	case JobRetryWait:
+		return "retry-wait"
+	case JobFailed:
+		return "failed"
 	}
 	return "unknown"
 }
@@ -194,14 +228,25 @@ type Job struct {
 	// CacheHit reports whether admission placement came from the tuning
 	// cache (bwap policy only).
 	CacheHit bool
+	// Attempts counts crash-kills of this job; past Config.MaxRetries the
+	// job fails terminally.
+	Attempts int
 
 	app     *sim.App
 	seen    bool   // completion already turned into an event
 	sigHash uint64 // FNV-64a of Spec.Signature(), computed once at Submit
+	// remFrac is the fraction of the job's scaled work volume still to
+	// run: 1 until a drain snapshots progress, then scaled down so the
+	// re-placed remainder is only what is left. Placement multiplies it
+	// into WorkScale; keeping it an exact 1.0 for never-evacuated jobs
+	// makes fault-free logs bit-identical to the pre-lifecycle scheduler.
+	remFrac float64
 }
 
-// machine is one fleet member: a topology, its engine, allocation state
-// and its home shard.
+// machine is one fleet member: a topology, its engine, allocation state,
+// its home shard and its lifecycle state. A machine that is not up keeps
+// ticking its (empty) engine so the fleet-wide lockstep clock survives the
+// outage; it is merely invisible to bestFit until it recovers.
 type machine struct {
 	id            int
 	shard         int
@@ -211,6 +256,7 @@ type machine struct {
 	freeCount     int
 	active        []*Job // admission order
 	retunePending bool
+	state         machineState
 }
 
 // freeNodes lists the machine's free nodes in ascending order.
@@ -265,8 +311,14 @@ type Fleet struct {
 	cache     *TuningCache
 
 	jobs    []*Job // by ID-1
-	queue   []*Job // arrived, waiting for capacity
+	queue   []*Job // arrived, waiting for capacity; (Arrival, ID) order
 	running int
+
+	// Lifecycle counters, maintained by the event handlers (scheduler
+	// goroutine only; the server mutex covers concurrent readers).
+	evacuations int
+	retries     int
+	failedJobs  int
 
 	arrivals eventHeap // router-level events; machine events live on shards
 	eventSeq int
@@ -345,6 +397,21 @@ func New(cfg Config) (*Fleet, error) {
 		sh.nodes += topo.NumNodes()
 		f.totalNodes += topo.NumNodes()
 	}
+	// The schema record is always line 0, so any consumer can version-gate
+	// before touching the rest of the log.
+	f.logAppend(-1, Record{T: 0, Type: "schema", Machine: -1, Version: LogSchemaVersion})
+	if cfg.Faults != nil {
+		evs, err := cfg.Faults.materialize(cfg.Machines, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Pushed in sorted order before any Submit, so the fault events'
+		// sequence numbers are a pure function of the plan — a replay with
+		// the same plan regenerates them exactly.
+		for _, fe := range evs {
+			f.push(fe.t, fe.kind, nil, fe.mach)
+		}
+	}
 	return f, nil
 }
 
@@ -381,18 +448,23 @@ func (f *Fleet) pendingEvents() int {
 	return n
 }
 
-// push schedules an event: arrivals on the router heap, machine-scoped
-// events (completions, retunes) on the owning machine's shard heap. The
-// sequence counter is global, so the cross-heap pop order is the exact
-// order a single heap would produce.
+// push schedules an event: router-level kinds (arrivals, retries,
+// machine-adds) on the arrival heap, machine-scoped kinds (completions,
+// retunes, crashes, drains, recoveries) on the owning machine's shard
+// heap. The shard is computed as mach mod shards — the machine→shard
+// assignment rule — rather than looked up, so a FaultPlan may target a
+// machine a scheduled machine-add has not created yet. The sequence
+// counter is global, so the cross-heap pop order is the exact order a
+// single heap would produce.
 func (f *Fleet) push(t float64, kind eventKind, job *Job, mach int) {
 	f.eventSeq++
 	ev := &event{t: t, kind: kind, seq: f.eventSeq, job: job, mach: mach}
-	if kind == evArrive {
+	switch kind {
+	case evArrive, evRetry, evMachineAdd:
 		heap.Push(&f.arrivals, ev)
-		return
+	default:
+		heap.Push(&f.shards[mach%len(f.shards)].events, ev)
 	}
-	heap.Push(&f.shards[f.machines[mach].shard].events, ev)
 }
 
 // peekNext returns the globally next event by (t, kind, seq) without
@@ -443,7 +515,7 @@ func (f *Fleet) Submit(spec workload.Spec, workers int, workScale, at float64) (
 	}
 	job := &Job{
 		ID: len(f.jobs) + 1, Spec: spec, Workers: workers, WorkScale: workScale,
-		Arrival: at, State: JobPending, Machine: -1,
+		Arrival: at, State: JobPending, Machine: -1, remFrac: 1,
 	}
 	h := fnv.New64a()
 	h.Write([]byte(spec.Signature()))
@@ -566,6 +638,15 @@ func (f *Fleet) run(target float64, drain bool) error {
 		if drain {
 			if f.pendingEvents() == 0 {
 				if f.running == 0 {
+					if len(f.queue) > 0 {
+						// Nothing runs, nothing is scheduled, yet jobs wait:
+						// no future completion or recovery can ever admit
+						// them (e.g. every machine they could route to is
+						// down for good). Fail fast instead of grinding the
+						// clock to MaxSimTime.
+						return fmt.Errorf("fleet: %d jobs stranded in queue with no pending events (%d/%d machines up)",
+							len(f.queue), f.machinesUp(), len(f.machines))
+					}
 					return nil
 				}
 				next = f.cfg.MaxSimTime
@@ -673,7 +754,7 @@ func (f *Fleet) handle(ev *event) error {
 			return err
 		}
 		if !admitted {
-			f.queue = append(f.queue, job)
+			f.enqueue(job)
 			f.logAppend(-1, Record{T: job.Arrival, Type: "queue", Job: job.ID, Machine: -1, Workload: job.Spec.Name})
 		}
 		return nil
@@ -683,6 +764,28 @@ func (f *Fleet) handle(ev *event) error {
 
 	case evRetune:
 		return f.retune(f.machines[ev.mach])
+
+	case evRetry:
+		return f.retryJob(ev.job)
+
+	case evMachineAdd:
+		return f.addMachine()
+
+	case evCrash, evDrain, evRecover:
+		// FaultPlan targets may reference machines a machine-add creates
+		// later; firing before the add is a plan bug, surfaced here.
+		m, err := f.machineByID(ev.mach)
+		if err != nil {
+			return fmt.Errorf("fleet: %s event at %.3f: %w", ev.kind, ev.t, err)
+		}
+		switch ev.kind {
+		case evCrash:
+			return f.crashMachine(m)
+		case evDrain:
+			return f.drainMachine(m)
+		default:
+			return f.recoverMachine(m)
+		}
 	}
 	return fmt.Errorf("fleet: unknown event kind %d", ev.kind)
 }
@@ -696,16 +799,18 @@ func (f *Fleet) logAppend(shardID int, rec Record) {
 	}
 }
 
-// bestFit is THE machine-selection rule: the most-free machine that fits
-// the worker demand, ties to the earliest in the slice (= lowest id, as
-// every machine list is id-ascending). The least-loaded router and the
-// shard-level admission both call it, which is what makes their
-// composition pick the same machine for any shard partition — the
-// replay-equivalence tests depend on this staying a single function.
+// bestFit is THE machine-selection rule: the most-free up machine that
+// fits the worker demand, ties to the earliest in the slice (= lowest id,
+// as every machine list is id-ascending). Drained and crashed machines are
+// invisible — that single check is how every admission path honors the
+// lifecycle state. The least-loaded router and the shard-level admission
+// both call it, which is what makes their composition pick the same
+// machine for any shard partition — the replay-equivalence tests depend on
+// this staying a single function.
 func bestFit(ms []*machine, workers int) *machine {
 	var best *machine
 	for _, m := range ms {
-		if m.freeCount >= workers && (best == nil || m.freeCount > best.freeCount) {
+		if m.state == machineUp && m.freeCount >= workers && (best == nil || m.freeCount > best.freeCount) {
 			best = m
 		}
 	}
@@ -781,7 +886,7 @@ func (f *Fleet) place(job *Job, m *machine, nodes []topology.NodeID) error {
 	}
 
 	name := fmt.Sprintf("job-%d", job.ID)
-	app, err := m.eng.AddApp(name, job.Spec.Scaled(job.WorkScale), nodes, placer)
+	app, err := m.eng.AddApp(name, job.Spec.Scaled(job.WorkScale*job.remFrac), nodes, placer)
 	if err != nil {
 		m.release(nodes)
 		return fmt.Errorf("fleet: admitting job %d: %w", job.ID, err)
@@ -835,39 +940,14 @@ func (f *Fleet) complete(job *Job) error {
 	f.logAppend(m.shard, Record{T: job.Finish, Type: "complete", Job: job.ID, Machine: m.id,
 		Workload: job.Spec.Name, Elapsed: job.Finish - job.Admit})
 	f.scheduleRetune(m)
-
-	// Backfill: admit every queued job that now fits, preserving arrival
-	// order among those that stay. The queue is always committed — even
-	// when an admission errors — so jobs admitted earlier in the sweep are
-	// never retried (a retry would collide with their registered app).
-	kept := f.queue[:0]
-	var admitErr error
-	for _, qj := range f.queue {
-		if admitErr != nil {
-			kept = append(kept, qj)
-			continue
-		}
-		admitted, err := f.tryAdmit(qj)
-		if err != nil {
-			admitErr = err
-			kept = append(kept, qj) // failed admission leaves the job queued
-			continue
-		}
-		if !admitted {
-			kept = append(kept, qj)
-		}
-	}
-	for i := len(kept); i < len(f.queue); i++ {
-		f.queue[i] = nil
-	}
-	f.queue = kept
-	return admitErr
+	return f.backfill()
 }
 
 // scheduleRetune arranges a coalesced retune of machine m's surviving jobs
 // shortly after churn (bwap policy only).
 func (f *Fleet) scheduleRetune(m *machine) {
-	if f.cfg.Policy != PolicyBWAP || f.cfg.RetuneDelay < 0 || m.retunePending || len(m.active) == 0 {
+	if f.cfg.Policy != PolicyBWAP || f.cfg.RetuneDelay < 0 || m.retunePending ||
+		len(m.active) == 0 || m.state != machineUp {
 		return
 	}
 	m.retunePending = true
@@ -878,7 +958,9 @@ func (f *Fleet) scheduleRetune(m *machine) {
 // migrating pages toward the cached placement for the new mix.
 func (f *Fleet) retune(m *machine) error {
 	m.retunePending = false
-	if len(m.active) == 0 {
+	// A retune scheduled before a drain/crash may fire while the machine is
+	// down; the survivors (if any) are only jobs already completing.
+	if len(m.active) == 0 || m.state != machineUp {
 		return nil
 	}
 	s := f.shards[m.shard]

@@ -114,6 +114,14 @@ func TestFleetLogStructure(t *testing.T) {
 			lastT = r.T
 		}
 		switch r.Type {
+		case "schema":
+			if i != 0 || r.Version != LogSchemaVersion {
+				t.Fatalf("schema record %d version %d; want line 0, version %d", i, r.Version, LogSchemaVersion)
+			}
+		case "drain", "crash", "recover", "machine-add":
+			t.Fatalf("lifecycle record %q in a fault-free run", r.Type)
+		case "retry", "fail":
+			t.Fatalf("retry record %q in a fault-free run", r.Type)
 		case "arrive":
 			if phase[r.Job] != "" {
 				t.Fatalf("job %d arrived twice", r.Job)

@@ -8,6 +8,12 @@ import (
 	"io"
 )
 
+// LogSchemaVersion is stamped on the schema record every log opens with.
+// Version 1 (implicit — no schema record) had only the five stream-level
+// record types; version 2 added the machine-lifecycle types and the
+// version/attempt/retry_at fields.
+const LogSchemaVersion = 2
+
 // Record is one line of the fleet's replayable JSONL event log. Field order
 // is fixed by this struct, values are fully determined by the fleet
 // configuration and job stream, and every float is produced by the same
@@ -16,19 +22,31 @@ import (
 //
 // Record types:
 //
-//	arrive   — a job entered the system (Machine is -1; Workers/WorkScale
-//	           make the log a replayable trace, see ReadTrace)
-//	queue    — no machine had capacity; the job waits (Machine is -1)
-//	admit    — the job was placed (Machine, Nodes; DWP/CacheHit for bwap)
-//	complete — the job finished (Elapsed = finish − admit)
-//	retune   — co-located jobs were re-placed after churn (Jobs)
+//	schema      — always line 0: the log format version (Version)
+//	arrive      — a job entered the system (Machine is -1; Workers/WorkScale
+//	              make the log a replayable trace, see ReadTrace)
+//	queue       — no machine had capacity; the job waits (Machine is -1)
+//	admit       — the job was placed (Machine, Nodes; DWP/CacheHit for bwap)
+//	complete    — the job finished (Elapsed = finish − admit)
+//	retune      — co-located jobs were re-placed after churn (Jobs)
+//	drain       — the machine left service gracefully; Jobs lists the
+//	              evacuated ids (each then re-admits or queues)
+//	crash       — the machine failed; Jobs lists the killed ids (each then
+//	              retries or fails)
+//	recover     — the machine returned to service
+//	machine-add — the fleet grew by machine Machine
+//	retry       — a crash-killed job will re-enter admission at RetryAt
+//	              (Attempt = kills so far)
+//	fail        — the job exhausted its retry budget; terminal
 type Record struct {
-	Seq      int     `json:"seq"`
-	T        float64 `json:"t"`
-	Type     string  `json:"type"`
-	Job      int     `json:"job,omitempty"`
-	Machine  int     `json:"machine"`
-	Workload string  `json:"workload,omitempty"`
+	Seq  int     `json:"seq"`
+	T    float64 `json:"t"`
+	Type string  `json:"type"`
+	// Version is the log schema version, stamped on the schema record only.
+	Version  int    `json:"version,omitempty"`
+	Job      int    `json:"job,omitempty"`
+	Machine  int    `json:"machine"`
+	Workload string `json:"workload,omitempty"`
 	// Workers and WorkScale are stamped on arrive records so the job's
 	// shape survives into the log; together with T they are exactly what
 	// ReadTrace needs to resubmit the stream.
@@ -41,6 +59,10 @@ type Record struct {
 	DWP      *float64 `json:"dwp,omitempty"`
 	CacheHit *bool    `json:"cache_hit,omitempty"`
 	Elapsed  float64  `json:"elapsed,omitempty"`
+	// Attempt and RetryAt describe the crash-retry records: how many times
+	// the job has been killed and when its backoff elapses.
+	Attempt int     `json:"attempt,omitempty"`
+	RetryAt float64 `json:"retry_at,omitempty"`
 }
 
 // eventLog accumulates the merged JSONL log, optionally mirroring each

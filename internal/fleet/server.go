@@ -29,6 +29,9 @@ import (
 //	GET  /jobs        → every job
 //	GET  /fleet       → Stats
 //	GET  /shards      → per-shard ShardStat slice
+//	GET  /machines    → per-machine MachineView slice
+//	POST /drain?machine=N   → gracefully evacuate machine N (409 if not up)
+//	POST /recover?machine=N → bring machine N back up (409 if already up)
 //	GET  /log         → the merged JSONL event log
 //	GET  /healthz     → 200 ok
 type Server struct {
@@ -157,6 +160,7 @@ type jobView struct {
 	Finish    float64 `json:"finish"`
 	CacheHit  bool    `json:"cache_hit"`
 	WorkScale float64 `json:"work_scale"`
+	Attempts  int     `json:"attempts,omitempty"`
 }
 
 func viewOf(j *Job) jobView {
@@ -164,7 +168,7 @@ func viewOf(j *Job) jobView {
 		ID: j.ID, Workload: j.Spec.Name, Workers: j.Workers,
 		State: j.State.String(), Machine: j.Machine,
 		Arrival: j.Arrival, Admit: j.Admit, Finish: j.Finish,
-		CacheHit: j.CacheHit, WorkScale: j.WorkScale,
+		CacheHit: j.CacheHit, WorkScale: j.WorkScale, Attempts: j.Attempts,
 	}
 	for _, n := range j.Nodes {
 		v.Nodes = append(v.Nodes, int(n))
@@ -180,6 +184,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/shards", s.handleShards)
+	mux.HandleFunc("/machines", s.handleMachines)
+	mux.HandleFunc("/drain", s.handleDrain)
+	mux.HandleFunc("/recover", s.handleRecover)
 	mux.HandleFunc("/log", s.handleLog)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
@@ -336,6 +343,47 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.fleet.ShardStats())
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.fleet.Machines())
+}
+
+// lifecycleOp parses the machine parameter and runs op under the fleet
+// mutex — the shared shape of /drain and /recover. A state conflict
+// (draining a down machine, recovering an up one) maps to 409, an unknown
+// machine to 404, and success returns the machine's new view.
+func (s *Server) lifecycleOp(w http.ResponseWriter, r *http.Request, op func(int) error) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	id, err := strconv.Atoi(r.URL.Query().Get("machine"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad machine: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.fleet.machineByID(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if err := op(id); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fleet.Machines()[id])
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.lifecycleOp(w, r, s.fleet.Drain)
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	s.lifecycleOp(w, r, s.fleet.Recover)
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {

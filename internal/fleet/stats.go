@@ -9,21 +9,30 @@ type Stats struct {
 	// policy.
 	Routing   string `json:"routing"`
 	Admission string `json:"admission"`
-	// Machines is the fleet size; Shards the partition count; Workers the
-	// advance pool bound.
-	Machines int `json:"machines"`
-	Shards   int `json:"shards"`
-	Workers  int `json:"workers"`
+	// Machines is the fleet size; MachinesUp the members currently in
+	// service; Shards the partition count; Workers the advance pool bound.
+	Machines   int `json:"machines"`
+	MachinesUp int `json:"machines_up"`
+	Shards     int `json:"shards"`
+	Workers    int `json:"workers"`
 	// SimTime is the current simulated time.
 	SimTime float64 `json:"sim_time"`
 
-	// Jobs counts every submission; Pending/Queued/Running/Completed
-	// partition it.
-	Jobs      int `json:"jobs"`
-	Pending   int `json:"pending"`
-	Queued    int `json:"queued"`
-	Running   int `json:"running"`
-	Completed int `json:"completed"`
+	// Jobs counts every submission; Pending/Queued/RetryWait/Running/
+	// Completed/FailedJobs partition it (the job-conservation invariant:
+	// the six always sum to Jobs).
+	Jobs       int `json:"jobs"`
+	Pending    int `json:"pending"`
+	Queued     int `json:"queued"`
+	RetryWait  int `json:"retry_wait"`
+	Running    int `json:"running"`
+	Completed  int `json:"completed"`
+	FailedJobs int `json:"failed_jobs"`
+
+	// Evacuations counts jobs gracefully moved off draining machines;
+	// Retries counts crash-retry grants (a job killed twice counts twice).
+	Evacuations int `json:"evacuations"`
+	Retries     int `json:"retries"`
 
 	// MeanWait is the mean time from arrival to admission over completed
 	// jobs; MeanRuntime the mean admission-to-finish time; MeanTurnaround
@@ -90,15 +99,18 @@ type ShardStat struct {
 // Stats computes the current snapshot.
 func (f *Fleet) Stats() *Stats {
 	s := &Stats{
-		Policy:     f.cfg.Policy,
-		Routing:    f.router.Name(),
-		Admission:  f.admission.Name(),
-		Machines:   len(f.machines),
-		Shards:     len(f.shards),
-		Workers:    f.workers,
-		SimTime:    f.now,
-		Jobs:       len(f.jobs),
-		LogRecords: f.log.seq,
+		Policy:      f.cfg.Policy,
+		Routing:     f.router.Name(),
+		Admission:   f.admission.Name(),
+		Machines:    len(f.machines),
+		MachinesUp:  f.machinesUp(),
+		Shards:      len(f.shards),
+		Workers:     f.workers,
+		SimTime:     f.now,
+		Jobs:        len(f.jobs),
+		Evacuations: f.evacuations,
+		Retries:     f.retries,
+		LogRecords:  f.log.seq,
 	}
 	cs := f.cache.Stats()
 	s.CacheEvictions = cs.Evictions
@@ -129,6 +141,10 @@ func (f *Fleet) Stats() *Stats {
 			wait += j.Admit - j.Arrival
 			run += j.Finish - j.Admit
 			turn += j.Finish - j.Arrival
+		case JobRetryWait:
+			s.RetryWait++
+		case JobFailed:
+			s.FailedJobs++
 		}
 	}
 	if s.Completed > 0 {

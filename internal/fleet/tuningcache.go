@@ -188,19 +188,27 @@ func (tc *TuningCache) SnapshotBytes() ([]byte, error) {
 	}, "", " ")
 }
 
+// ErrBadSnapshot re-exports cache.ErrBadSnapshot: every RestoreBytes (and
+// LoadInto) failure caused by the snapshot content wraps it, so a daemon
+// can distinguish a corrupt cache file — warn and boot cold — from an I/O
+// problem worth failing on.
+var ErrBadSnapshot = cache.ErrBadSnapshot
+
 // RestoreBytes loads a SnapshotBytes payload into the cache and returns
 // how many entries it added. Restored entries are full hits: a later DWP
-// lookup of their key runs no probe.
+// lookup of their key runs no probe. Corrupt, truncated or wrong-version
+// payloads return an error wrapping ErrBadSnapshot and leave the cache
+// untouched and usable.
 func (tc *TuningCache) RestoreBytes(data []byte) (int, error) {
 	var f tuningCacheFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return 0, fmt.Errorf("fleet: cache restore: %w", err)
+		return 0, fmt.Errorf("fleet: cache restore: %w: %v", ErrBadSnapshot, err)
 	}
 	if f.Kind != tuningCacheFileKind {
-		return 0, fmt.Errorf("fleet: cache restore: kind %q, want %q", f.Kind, tuningCacheFileKind)
+		return 0, fmt.Errorf("fleet: cache restore: %w: kind %q, want %q", ErrBadSnapshot, f.Kind, tuningCacheFileKind)
 	}
 	if f.Version != tuningCacheFileVersion {
-		return 0, fmt.Errorf("fleet: cache restore: file version %d, want %d", f.Version, tuningCacheFileVersion)
+		return 0, fmt.Errorf("fleet: cache restore: %w: file version %d, want %d", ErrBadSnapshot, f.Version, tuningCacheFileVersion)
 	}
 	n, err := tc.dwp.Restore(f.DWP)
 	if err != nil {

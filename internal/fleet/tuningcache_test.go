@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -123,5 +124,48 @@ func TestTuningCacheLRUBound(t *testing.T) {
 	// w3 survived (w2 went when w1 re-entered).
 	if _, hit, err := tc.DWP(topo, testSpec("w3"), 2, 0); err != nil || !hit {
 		t.Fatalf("recent key lookup: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestTuningCacheBadSnapshots mirrors the cache-layer corrupt-snapshot
+// table at the fleet boundary: every unusable payload surfaces as
+// ErrBadSnapshot via errors.Is — the sentinel bwapd's boot path matches to
+// warn and cold-start instead of dying — and the cache keeps working.
+func TestTuningCacheBadSnapshots(t *testing.T) {
+	topo := smallMachine(0)
+	spec := testSpec("survivor")
+	tc := NewTuningCache(sim.Config{Seed: 5}, 0, 5)
+	want, _, err := tc.DWP(topo, spec, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("}{")},
+		{"truncated file", []byte(`{"version":1,"kind":"bwap-tuning-cache"`)},
+		{"wrong kind", []byte(`{"version":1,"kind":"other","dwp":{"version":1,"entries":[]}}`)},
+		{"wrong file version", []byte(`{"version":9,"kind":"bwap-tuning-cache","dwp":{"version":1,"entries":[]}}`)},
+		{"inner version", []byte(`{"version":1,"kind":"bwap-tuning-cache","dwp":{"version":9,"entries":[]}}`)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, err := tc.RestoreBytes(c.data)
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("RestoreBytes = %v, want ErrBadSnapshot", err)
+			}
+			if n != 0 {
+				t.Fatalf("RestoreBytes loaded %d entries from a bad payload", n)
+			}
+			got, hit, err := tc.DWP(topo, spec, 2, 0)
+			if err != nil || !hit || got != want {
+				t.Fatalf("cache unusable after failed restore: %g, %v, %v", got, hit, err)
+			}
+		})
+	}
+	if st := tc.Stats(); st.Entries != 1 || st.Restored != 0 {
+		t.Fatalf("failed restores mutated the cache: %+v", st)
 	}
 }
