@@ -346,3 +346,66 @@ func BenchmarkFleetThroughputSharded(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetTelemetryOverhead prices the observer on the fleet's
+// event path: the identical warm-cache stream with telemetry off and on
+// (counters, histograms and timeline; spans stay off, as they would on a
+// hot path). The off/on delta is the telemetry-overhead headline in
+// BENCH_5.json — the observer consumes records the scheduler emits
+// anyway, so the two sub-benchmarks should be within noise of each other.
+func BenchmarkFleetTelemetryOverhead(b *testing.B) {
+	cache := bwap.NewTuningCache(bwap.Config{Seed: 1}, 0, 1)
+	const jobs = 12
+	stream := []bwap.StreamSpec{{
+		Workload: bwap.Streamcluster(),
+		Arrival:  bwap.ArrivalSpec{Process: "poisson", Rate: 0.4, Count: jobs},
+		Workers:  2, WorkScale: 0.02,
+	}}
+	warm, err := bwap.NewFleet(bwap.FleetConfig{
+		Machines: 2, SimCfg: bwap.Config{Seed: 1}, Seed: 1, Cache: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.SubmitStream(stream); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.Run(); err != nil {
+		b.Fatal(err)
+	}
+	for _, telemetry := range []bool{false, true} {
+		name := "off"
+		if telemetry {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := bwap.FleetConfig{
+					Machines: 2,
+					SimCfg:   bwap.Config{Seed: 1},
+					Seed:     1,
+					Cache:    cache,
+				}
+				if telemetry {
+					cfg.Obs = bwap.NewFleetObserver(bwap.FleetObserverConfig{})
+				}
+				f, err := bwap.NewFleet(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := f.SubmitStream(stream); err != nil {
+					b.Fatal(err)
+				}
+				stats, err := f.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Completed != jobs {
+					b.Fatalf("completed %d/%d", stats.Completed, jobs)
+				}
+			}
+			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

@@ -292,6 +292,16 @@ type FleetRecord = fleet.Record
 // FleetServer serves a fleet over HTTP (the bwapd daemon).
 type FleetServer = fleet.Server
 
+// FleetObserver is the fleet's deterministic telemetry layer: sim-time
+// counters, histograms, a windowed timeline and optional lifecycle spans,
+// fed purely by the event-record stream so attaching one never changes
+// the event log.
+type FleetObserver = fleet.Observer
+
+// FleetObserverConfig parameterizes a FleetObserver (timeline window,
+// ring size, optional Chrome trace-event span sink).
+type FleetObserverConfig = fleet.ObserverConfig
+
 // StreamSpec is one workload class of a fleet job stream: a spec plus an
 // arrival process.
 type StreamSpec = fleet.StreamSpec
@@ -318,6 +328,10 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // NewFleetServer wraps a fleet in the bwapd HTTP API.
 func NewFleetServer(f *Fleet) *FleetServer { return fleet.NewServer(f) }
+
+// NewFleetObserver builds a telemetry observer; attach it to one fleet
+// via FleetConfig.Obs.
+func NewFleetObserver(cfg FleetObserverConfig) *FleetObserver { return fleet.NewObserver(cfg) }
 
 // NewTuningCache returns a tuning cache shareable across fleets and
 // daemons. By default failed probes are forgotten (retried on the next

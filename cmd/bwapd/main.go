@@ -28,6 +28,8 @@
 //	bwapd -cache-file tuning.json           # warm-startable tuning cache
 //	bwapd -replay fleet-events.jsonl -cache-file tuning.json
 //	bwapd -fault-plan chaos.json            # deterministic crash/drain schedule
+//	bwapd -span-log spans.json              # per-job lifecycle spans (Perfetto)
+//	bwapd -obs=false                        # disable telemetry entirely
 //
 // Machines have a lifecycle: a -fault-plan file (see fleet.FaultPlan)
 // schedules deterministic crashes, drains, recoveries and fleet growth,
@@ -35,6 +37,16 @@
 // Drained machines evacuate their jobs gracefully (progress preserved);
 // crashed machines kill them, and the jobs retry with capped exponential
 // backoff up to -max-retries before failing terminally.
+//
+// Telemetry is on by default: an observer consumes the fleet's event
+// records into sim-time counters, histograms and a windowed timeline,
+// served as a Prometheus text exposition on /metrics and as JSON on
+// /timeline?window=W. The observer never touches the event log — enabling
+// it cannot change the log by a byte. -span-log additionally streams
+// per-job lifecycle spans (queued → running → retry-wait) as Chrome
+// trace-event JSON that chrome://tracing and Perfetto open directly.
+// Diagnostics go to stderr as structured log/slog lines; -log-level sets
+// the threshold.
 //
 // Endpoints:
 //
@@ -47,6 +59,8 @@
 //	POST /drain?machine=0
 //	POST /recover?machine=0
 //	GET  /log
+//	GET  /metrics
+//	GET  /timeline?window=10
 //	GET  /healthz
 package main
 
@@ -55,6 +69,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
@@ -88,7 +103,23 @@ func main() {
 	maxRetries := flag.Int("max-retries", 3, "per-job retry budget for crash-killed jobs (negative = no retries)")
 	replayPath := flag.String("replay", "", "replay a recorded JSONL event log instead of serving, then exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for in-situ profiling of the fleet hot paths")
+	obsOn := flag.Bool("obs", true, "attach the sim-time telemetry observer (/metrics, /timeline)")
+	obsWindow := flag.Float64("obs-window", 1, "timeline base window in simulated seconds")
+	spanLog := flag.String("span-log", "", "write per-job lifecycle spans as Chrome trace-event JSON to this file (needs -obs)")
+	logLevel := flag.String("log-level", "info", "structured-log threshold on stderr: debug, info, warn, error")
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bwapd: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	if *pprofAddr != "" {
 		// A separate listener (and the default mux, where the pprof import
@@ -96,10 +127,10 @@ func main() {
 		// covers -replay runs too, so recorded streams can be profiled.
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "bwapd: pprof listener: %v\n", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
-		fmt.Printf("bwapd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", *pprofAddr))
 	}
 
 	var newMachine func(int) *topology.Machine
@@ -121,18 +152,16 @@ func main() {
 	if *cacheFile != "" {
 		switch n, err := cache.LoadInto(*cacheFile); {
 		case err == nil:
-			fmt.Printf("bwapd: warm start — restored %d cached placements from %s\n", n, *cacheFile)
+			logger.Info("warm start: restored cached placements", "entries", n, "file", *cacheFile)
 		case os.IsNotExist(err):
-			fmt.Printf("bwapd: cold start — %s will be written on shutdown\n", *cacheFile)
+			logger.Info("cold start: snapshot will be written on shutdown", "file", *cacheFile)
 		case errors.Is(err, fleet.ErrBadSnapshot):
 			// A corrupt or stale-format snapshot is recoverable: the daemon
 			// boots cold and overwrites the bad file on shutdown. Only real
 			// I/O problems (unreadable file, permission) abort the boot.
-			fmt.Fprintf(os.Stderr, "bwapd: ignoring unusable cache snapshot: %v\n", err)
-			fmt.Printf("bwapd: cold start — %s will be rewritten on shutdown\n", *cacheFile)
+			logger.Warn("ignoring unusable cache snapshot; booting cold", "file", *cacheFile, "err", err)
 		default:
-			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
@@ -140,8 +169,7 @@ func main() {
 	if *faultPlan != "" {
 		var err error
 		if faults, err = fleet.LoadFaultPlan(*faultPlan); err != nil {
-			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	if *maxRetries == 0 {
@@ -166,22 +194,50 @@ func main() {
 		Cache:          cache,
 	}
 
+	// Telemetry applies to serve and replay runs alike. The observer only
+	// consumes records, so attaching it never changes the event log.
+	var spanFile *os.File
+	if *obsOn {
+		ocfg := fleet.ObserverConfig{Window: *obsWindow}
+		if *spanLog != "" {
+			f, err := os.Create(*spanLog)
+			if err != nil {
+				fatal(err)
+			}
+			spanFile = f
+			ocfg.SpanW = f
+		}
+		cfg.Obs = fleet.NewObserver(ocfg)
+	} else if *spanLog != "" {
+		logger.Warn("-span-log ignored without -obs")
+	}
+	closeSpans := func() {
+		if cfg.Obs == nil {
+			return
+		}
+		if err := cfg.Obs.CloseSpans(); err != nil {
+			logger.Warn("span log close failed", "err", err)
+		}
+		if spanFile != nil {
+			spanFile.Close() //nolint:errcheck // CloseSpans flushed and reported
+			logger.Info("span log written", "file", *spanLog)
+		}
+	}
+
 	// The replay input is read before -log opens anything, so -log pointing
 	// at the same file (under any alias) can never truncate it unread.
 	var replayData []byte
 	if *replayPath != "" {
 		var err error
 		if replayData, err = os.ReadFile(*replayPath); err != nil {
-			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		cfg.LogW = f
@@ -190,20 +246,21 @@ func main() {
 	if *replayPath != "" {
 		// -log applies here too: the replayed run regenerates its own
 		// event log, mirrored like the serve path's.
-		if err := replay(cfg, *replayPath, replayData, *cacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-			os.Exit(1)
+		err := replay(cfg, *replayPath, replayData, *cacheFile)
+		closeSpans()
+		if err != nil {
+			fatal(err)
 		}
 		return
 	}
 
 	fl, err := fleet.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	srv := fleet.NewServer(fl)
 	srv.SimRate = *simRate
+	srv.Log = logger
 	srv.Start()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -225,8 +282,7 @@ func main() {
 		*machines, *machine, *shards, *policy, *routing, *admission, *addr)
 	err = httpSrv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	// ListenAndServe returns the instant Shutdown is called; wait for the
 	// drain to finish so the snapshot includes entries from requests that
@@ -234,12 +290,12 @@ func main() {
 	cancel()
 	<-drained
 	srv.Stop()
+	closeSpans()
 	if *cacheFile != "" {
 		if err := cache.Save(*cacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "bwapd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Printf("bwapd: saved %d cached placements to %s\n", cache.Stats().Entries, *cacheFile)
+		logger.Info("saved cached placements", "entries", cache.Stats().Entries, "file", *cacheFile)
 	}
 }
 
@@ -271,6 +327,11 @@ func replay(cfg fleet.Config, logPath string, data []byte, cacheFile string) err
 	fmt.Printf("bwapd: replayed %d jobs (%d classes) from %s\n", jobs, len(streams), logPath)
 	fmt.Printf("bwapd: mean turnaround %.1fs, mean wait %.1fs, utilization %.1f%%\n",
 		stats.MeanTurnaround, stats.MeanWait, 100*stats.Utilization)
+	if o := fl.Observer(); o != nil && o.Turnaround().Count() > 0 {
+		turn, wait := o.Turnaround(), o.QueueWait()
+		fmt.Printf("bwapd: turnaround p50 %.1fs p99 %.1fs, queue wait p50 %.1fs p99 %.1fs\n",
+			turn.Quantile(0.5), turn.Quantile(0.99), wait.Quantile(0.5), wait.Quantile(0.99))
+	}
 	fmt.Printf("bwapd: cache — hits %d, probes %d, restored %d, evictions %d, entries %d\n",
 		cs.Hits, cs.Misses, cs.Restored, cs.Evictions, cs.Entries)
 	if cacheFile != "" {

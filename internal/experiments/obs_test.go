@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bwap/internal/fleet"
+)
+
+// TestRunObs runs the quick telemetry scenario and checks what it exists
+// to demonstrate: the observer saw every completion, the quantiles are
+// real numbers in sane order, and attaching telemetry left both policies'
+// event logs untouched.
+func TestRunObs(t *testing.T) {
+	table, err := RunObs(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Results) != 2 {
+		t.Fatalf("%d result cells, want 2", len(table.Results))
+	}
+	for _, r := range table.Results {
+		if !r.Unperturbed {
+			t.Fatalf("%s: telemetry perturbed the event log", r.Policy)
+		}
+		if r.Stats == nil || int(r.Completed) != r.Stats.Completed {
+			t.Fatalf("%s: observer counted %d completions, stats say %+v",
+				r.Policy, r.Completed, r.Stats)
+		}
+		for i := 0; i < 2; i++ {
+			if math.IsNaN(r.TurnP[i]) || r.TurnP[i] > r.TurnP[i+1] {
+				t.Fatalf("%s: turnaround quantiles out of order: %v", r.Policy, r.TurnP)
+			}
+			if math.IsNaN(r.WaitP[i]) || r.WaitP[i] > r.WaitP[i+1] {
+				t.Fatalf("%s: wait quantiles out of order: %v", r.Policy, r.WaitP)
+			}
+		}
+	}
+	out := table.Render()
+	for _, want := range []string{"rolling-restart", fleet.PolicyBWAP,
+		fleet.PolicyFirstTouch, "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -124,6 +124,12 @@ type Config struct {
 	Cache *TuningCache
 	// LogW optionally mirrors every event-log line as it is written.
 	LogW io.Writer
+	// Obs optionally attaches a telemetry observer (see NewObserver). The
+	// observer is a pure consumer of the record stream plus exposition-time
+	// gauge sync — it never touches the log, the RNG or the tick path, so
+	// enabling it cannot change the event log by a byte. An observer must
+	// not be shared between fleets.
+	Obs *Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -328,6 +334,7 @@ type Fleet struct {
 
 	log        eventLog
 	totalNodes int
+	obs        *Observer
 }
 
 // New builds a fleet.
@@ -365,6 +372,12 @@ func New(cfg Config) (*Fleet, error) {
 		f.workers = cfg.Shards
 	}
 	f.log.w = cfg.LogW
+	f.obs = cfg.Obs
+	if f.obs != nil {
+		// A shared cache reports probes from the last fleet to attach; with
+		// per-fleet caches (the default) attribution is exact.
+		f.cache.SetProbeObserver(f.obs.observeProbe)
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		f.shards = append(f.shards, &shard{id: s})
 	}
@@ -797,6 +810,9 @@ func (f *Fleet) logAppend(shardID int, rec Record) {
 	if shardID >= 0 {
 		f.shards[shardID].records++
 	}
+	if f.obs != nil {
+		f.obs.record(rec)
+	}
 }
 
 // bestFit is THE machine-selection rule: the most-free up machine that
@@ -939,6 +955,11 @@ func (f *Fleet) complete(job *Job) error {
 	s.completed++
 	f.logAppend(m.shard, Record{T: job.Finish, Type: "complete", Job: job.ID, Machine: m.id,
 		Workload: job.Spec.Name, Elapsed: job.Finish - job.Admit})
+	if f.obs != nil {
+		// Completion is a deterministic point of the record stream, so
+		// sampling the engine fixed point here is shard-invariant.
+		f.obs.observeEngine(m.eng)
+	}
 	f.scheduleRetune(m)
 	return f.backfill()
 }

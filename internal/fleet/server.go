@@ -1,9 +1,12 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -33,10 +36,18 @@ import (
 //	POST /drain?machine=N   → gracefully evacuate machine N (409 if not up)
 //	POST /recover?machine=N → bring machine N back up (409 if already up)
 //	GET  /log         → the merged JSONL event log
+//	GET  /metrics     → Prometheus text exposition (404 without an observer)
+//	GET  /timeline?window=W → windowed telemetry series as JSON
 //	GET  /healthz     → 200 ok
+//
+// Every endpoint accepts exactly its listed method (GET endpoints also
+// take HEAD); anything else is 405 with an Allow header.
 type Server struct {
 	mu    sync.Mutex
 	fleet *Fleet
+	// Log receives structured warnings (e.g. a background-driver failure);
+	// nil falls back to slog.Default().
+	Log *slog.Logger
 	// driveErr is the first error the background driver hit; it is
 	// reported by /healthz (503) and /fleet, since the driver itself has
 	// no requester to fail.
@@ -114,6 +125,8 @@ func (s *Server) drive(stop <-chan struct{}, done chan<- struct{}) {
 			if busy {
 				if err := s.fleet.Advance(s.SimRate * s.Tick.Seconds()); err != nil && s.driveErr == nil {
 					s.driveErr = err
+					s.logger().Warn("background driver failed; clock frozen",
+						"err", err, "sim_time", s.fleet.Now())
 				}
 			}
 			s.mu.Unlock()
@@ -176,19 +189,43 @@ func viewOf(j *Job) jobView {
 	return v
 }
 
+// logger returns the server's structured logger (slog.Default when unset).
+func (s *Server) logger() *slog.Logger {
+	if s.Log != nil {
+		return s.Log
+	}
+	return slog.Default()
+}
+
+// methods wraps h so only the allowed method is accepted (GET endpoints
+// also take HEAD — net/http suppresses the body); anything else is 405
+// with an Allow header, per RFC 9110.
+func methods(allow string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != allow && !(allow == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", allow)
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("%s only", allow))
+			return
+		}
+		h(w, r)
+	}
+}
+
 // Handler returns the daemon's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/submit", s.handleSubmit)
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/jobs", s.handleJobs)
-	mux.HandleFunc("/fleet", s.handleFleet)
-	mux.HandleFunc("/shards", s.handleShards)
-	mux.HandleFunc("/machines", s.handleMachines)
-	mux.HandleFunc("/drain", s.handleDrain)
-	mux.HandleFunc("/recover", s.handleRecover)
-	mux.HandleFunc("/log", s.handleLog)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/submit", methods(http.MethodPost, s.handleSubmit))
+	mux.HandleFunc("/status", methods(http.MethodGet, s.handleStatus))
+	mux.HandleFunc("/jobs", methods(http.MethodGet, s.handleJobs))
+	mux.HandleFunc("/fleet", methods(http.MethodGet, s.handleFleet))
+	mux.HandleFunc("/shards", methods(http.MethodGet, s.handleShards))
+	mux.HandleFunc("/machines", methods(http.MethodGet, s.handleMachines))
+	mux.HandleFunc("/drain", methods(http.MethodPost, s.handleDrain))
+	mux.HandleFunc("/recover", methods(http.MethodPost, s.handleRecover))
+	mux.HandleFunc("/log", methods(http.MethodGet, s.handleLog))
+	mux.HandleFunc("/metrics", methods(http.MethodGet, s.handleMetrics))
+	mux.HandleFunc("/timeline", methods(http.MethodGet, s.handleTimeline))
+	mux.HandleFunc("/healthz", methods(http.MethodGet, func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
 		err := s.driveErr
 		s.mu.Unlock()
@@ -197,7 +234,7 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 	return mux
 }
 
@@ -214,10 +251,6 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
-		return
-	}
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
@@ -356,10 +389,6 @@ func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
 // (draining a down machine, recovering an up one) maps to 409, an unknown
 // machine to 404, and success returns the machine's new view.
 func (s *Server) lifecycleOp(w http.ResponseWriter, r *http.Request, op func(int) error) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
-		return
-	}
 	id, err := strconv.Atoi(r.URL.Query().Get("machine"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad machine: %w", err))
@@ -392,4 +421,46 @@ func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Write(data) //nolint:errcheck // client went away
+}
+
+// handleMetrics renders the telemetry registry as Prometheus text
+// exposition format 0.0.4. Rendering happens into a buffer under the
+// mutex so a slow scraper cannot stall the fleet.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	var b bytes.Buffer
+	err := s.fleet.WriteMetrics(&b)
+	s.mu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoObserver) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes()) //nolint:errcheck // client went away
+}
+
+// handleTimeline renders the windowed telemetry series; ?window=W merges
+// base windows up to roughly W simulated seconds each.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	var window float64
+	if q := r.URL.Query().Get("window"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad window %q", q))
+			return
+		}
+		window = v
+	}
+	s.mu.Lock()
+	snap, err := s.fleet.TimelineSnapshot(window)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }

@@ -52,7 +52,14 @@ type TuningCache struct {
 	seed       uint64
 	canon      *cache.Cache[*core.CanonicalTuner]
 	dwp        *cache.Cache[float64]
+	probeObs   func(simSeconds float64) // successful-probe elapsed sim time
 }
+
+// SetProbeObserver registers fn to receive every successful probe run's
+// elapsed simulated time. Set it before the cache is used and do not
+// change it mid-run; a cache shared between fleets reports all probes to
+// the last observer attached.
+func (tc *TuningCache) SetProbeObserver(fn func(simSeconds float64)) { tc.probeObs = fn }
 
 // TuningCacheOption configures a TuningCache at construction.
 type TuningCacheOption func(*tuningCacheOpts)
@@ -297,6 +304,11 @@ func (tc *TuningCache) probe(key string, topo *topology.Machine, spec workload.S
 	}
 	if _, err := e.Run(); err != nil {
 		return 0, fmt.Errorf("fleet: probe %s: %w", key, err)
+	}
+	if tc.probeObs != nil {
+		// e.Now() after Run is the probe's elapsed simulated time — a pure
+		// function of (key, topology, spec), so observing it is replayable.
+		tc.probeObs(e.Now())
 	}
 	tuner := b.TunerFor(spec.Name)
 	if tuner == nil {

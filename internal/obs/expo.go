@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Write renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Families render in registration order and series in
+// creation order; floats go through strconv with the shortest round-trip
+// representation — no map iteration, no wall clock — so the same metric
+// state always produces the same bytes.
+func (r *Registry) Write(w io.Writer) error {
+	var b bytes.Buffer
+	for _, f := range r.fams {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind)
+		b.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter:
+				writeSample(&b, f.name, "", s.labels, "", s.c.v)
+			case KindGauge:
+				writeSample(&b, f.name, "", s.labels, "", s.g.v)
+			case KindHistogram:
+				h := s.h
+				cum := uint64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i]
+					writeSample(&b, f.name, "_bucket", s.labels, fmtFloat(bound), float64(cum))
+				}
+				cum += h.counts[len(h.bounds)]
+				writeSample(&b, f.name, "_bucket", s.labels, "+Inf", float64(cum))
+				writeSample(&b, f.name, "_sum", s.labels, "", h.sum)
+				writeSample(&b, f.name, "_count", s.labels, "", float64(h.count))
+			}
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writeSample renders one sample line; le is the bucket bound rendering
+// for _bucket samples ("" elsewhere).
+func writeSample(b *bytes.Buffer, name, suffix string, labels []Label, le string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(fmtFloat(v))
+	b.WriteByte('\n')
+}
+
+// fmtFloat renders a float the shortest way that round-trips — the single
+// formatting rule every exposition value goes through.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Lint validates a text exposition payload: every sample belongs to a
+// family with HELP and TYPE lines seen first, values parse, histogram
+// bucket bounds are strictly increasing and end at +Inf, cumulative bucket
+// counts are non-decreasing, and the _count sample equals the +Inf bucket.
+// The CI exposition-lint test runs it over the live /metrics output.
+func Lint(data []byte) error {
+	type histState struct {
+		les     []float64
+		counts  []float64
+		sum     *float64
+		count   *float64
+		lastInf bool
+	}
+	helps := map[string]bool{}
+	types := map[string]string{}
+	hists := map[string]map[string]*histState{} // family → series key (sans le)
+
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return fmt.Errorf("obs: line %d: malformed HELP", lineNo)
+			}
+			helps[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return fmt.Errorf("obs: line %d: malformed TYPE", lineNo)
+			}
+			switch kind {
+			case KindCounter, KindGauge, KindHistogram:
+			default:
+				return fmt.Errorf("obs: line %d: unknown type %q", lineNo, kind)
+			}
+			if !helps[name] {
+				return fmt.Errorf("obs: line %d: TYPE %s before its HELP", lineNo, name)
+			}
+			types[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		v, err := parseValue(value)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: bad value %q: %w", lineNo, value, err)
+		}
+
+		// Resolve the family: direct name, or a histogram suffix.
+		family, role := name, "plain"
+		if _, ok := types[family]; !ok {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suf)
+				if base != name && types[base] == KindHistogram {
+					family, role = base, suf
+					break
+				}
+			}
+		}
+		kind, ok := types[family]
+		if !ok {
+			return fmt.Errorf("obs: line %d: sample %s has no TYPE", lineNo, name)
+		}
+		if role == "plain" && kind == KindHistogram {
+			return fmt.Errorf("obs: line %d: bare sample for histogram %s", lineNo, family)
+		}
+		if role != "plain" && kind != KindHistogram {
+			return fmt.Errorf("obs: line %d: %s sample on %s family %s", lineNo, role, kind, family)
+		}
+		if kind == KindCounter && v < 0 {
+			return fmt.Errorf("obs: line %d: negative counter %s", lineNo, name)
+		}
+		if kind != KindHistogram {
+			continue
+		}
+
+		// Histogram bookkeeping: series identity is the label set minus le.
+		var le string
+		var rest []string
+		for _, l := range labels {
+			k, val, _ := strings.Cut(l, "=")
+			if k == "le" {
+				le = strings.Trim(val, `"`)
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		key := strings.Join(rest, ",")
+		if hists[family] == nil {
+			hists[family] = map[string]*histState{}
+		}
+		hs := hists[family][key]
+		if hs == nil {
+			hs = &histState{}
+			hists[family][key] = hs
+		}
+		switch role {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("obs: line %d: bucket without le", lineNo)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("obs: line %d: bad le %q", lineNo, le)
+				}
+			}
+			if n := len(hs.les); n > 0 && !(bound > hs.les[n-1]) {
+				return fmt.Errorf("obs: line %d: %s bucket bounds not increasing (%g after %g)",
+					lineNo, family, bound, hs.les[n-1])
+			}
+			if n := len(hs.counts); n > 0 && v < hs.counts[n-1] {
+				return fmt.Errorf("obs: line %d: %s cumulative bucket counts decreased", lineNo, family)
+			}
+			hs.les = append(hs.les, bound)
+			hs.counts = append(hs.counts, v)
+			hs.lastInf = math.IsInf(bound, 1)
+		case "_sum":
+			hs.sum = &v
+		case "_count":
+			hs.count = &v
+		}
+	}
+
+	for family, byKey := range hists {
+		for key, hs := range byKey {
+			id := family
+			if key != "" {
+				id += "{" + key + "}"
+			}
+			if len(hs.les) == 0 || !hs.lastInf {
+				return fmt.Errorf("obs: histogram %s missing +Inf bucket", id)
+			}
+			if hs.sum == nil {
+				return fmt.Errorf("obs: histogram %s missing _sum", id)
+			}
+			if hs.count == nil {
+				return fmt.Errorf("obs: histogram %s missing _count", id)
+			}
+			if inf := hs.counts[len(hs.counts)-1]; *hs.count != inf {
+				return fmt.Errorf("obs: histogram %s _count %g != +Inf bucket %g", id, *hs.count, inf)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits a sample line into name, raw label pairs and value.
+func parseSample(line string) (name string, labels []string, value string, err error) {
+	open := strings.IndexByte(line, '{')
+	if open < 0 {
+		name, value, _ = strings.Cut(line, " ")
+		if name == "" || value == "" {
+			return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		}
+		return name, nil, strings.TrimSpace(value), nil
+	}
+	name = line[:open]
+	body, rest, ok := cutLabels(line[open+1:])
+	if !ok {
+		return "", nil, "", fmt.Errorf("unterminated labels in %q", line)
+	}
+	if labels, err = splitLabels(body); err != nil {
+		return "", nil, "", err
+	}
+	value = strings.TrimSpace(rest)
+	if name == "" || value == "" {
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	return name, labels, value, nil
+}
+
+// cutLabels scans to the closing brace, honoring quoted values.
+func cutLabels(s string) (body, rest string, ok bool) {
+	inq, esc := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case inq && c == '\\':
+			esc = true
+		case c == '"':
+			inq = !inq
+		case !inq && c == '}':
+			return s[:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// splitLabels splits k="v" pairs on unquoted commas.
+func splitLabels(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	start, inq, esc := 0, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case inq && c == '\\':
+			esc = true
+		case c == '"':
+			inq = !inq
+		case !inq && c == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if inq {
+		return nil, fmt.Errorf("unterminated quote in labels %q", s)
+	}
+	out = append(out, s[start:])
+	for _, pair := range out {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return nil, fmt.Errorf("malformed label pair %q", pair)
+		}
+	}
+	return out, nil
+}
+
+// parseValue parses an exposition float, accepting the +Inf/-Inf/NaN forms.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderString(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return b.String()
+}
+
+func TestExpositionShape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs seen.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("up", "Machine up.", Label{"machine", "0"})
+	g.Set(1)
+	h := r.Histogram("wait_seconds", "Queue wait.", []float64{0.5, 1, 2})
+	h.Observe(0.3)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	got := renderString(t, r)
+	want := `# HELP jobs_total Jobs seen.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP up Machine up.
+# TYPE up gauge
+up{machine="0"} 1
+# HELP wait_seconds Queue wait.
+# TYPE wait_seconds histogram
+wait_seconds_bucket{le="0.5"} 1
+wait_seconds_bucket{le="1"} 1
+wait_seconds_bucket{le="2"} 2
+wait_seconds_bucket{le="+Inf"} 3
+wait_seconds_sum 10.8
+wait_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := Lint([]byte(got)); err != nil {
+		t.Fatalf("Lint rejected valid exposition: %v", err)
+	}
+}
+
+func TestRegistryDedupesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h", Label{"k", "v"})
+	b := r.Counter("c", "h", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("c", "h", Label{"k", "w"})
+	if a == other {
+		t.Fatal("different labels shared a counter")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "h")
+	r.Gauge("x", "h")
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := Histogram{bounds: ExpBuckets(1, 2, 4), counts: make([]uint64, 5)}
+	for _, v := range []float64{0.5, 1.5, 3, 3, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 15 {
+		t.Fatalf("count/sum = %d/%g", h.Count(), h.Sum())
+	}
+	// rank(0.5) = 2.5 → bucket (2,4] holds obs 3..4, interpolate.
+	q := h.Quantile(0.5)
+	if q < 2 || q > 4 {
+		t.Fatalf("p50 = %g, want within (2,4]", q)
+	}
+	if q99 := h.Quantile(0.99); q99 < 4 || q99 > 8 {
+		t.Fatalf("p99 = %g, want within (4,8]", q99)
+	}
+	var empty Histogram
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	// Observations past the last bound report the largest finite bound.
+	h2 := Histogram{bounds: []float64{1, 2}, counts: make([]uint64, 3)}
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %g, want 2", got)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "x 1\n",
+		"TYPE before HELP": "# TYPE x counter\nx 1\n",
+		"bad type":         "# HELP x h\n# TYPE x summary\nx 1\n",
+		"negative counter": "# HELP x h\n# TYPE x counter\nx -1\n",
+		"bad value":        "# HELP x h\n# TYPE x gauge\nx zero\n",
+		"non-monotone bounds": "# HELP x h\n# TYPE x histogram\n" +
+			"x_bucket{le=\"2\"} 0\nx_bucket{le=\"1\"} 0\nx_bucket{le=\"+Inf\"} 0\nx_sum 0\nx_count 0\n",
+		"decreasing cumulative": "# HELP x h\n# TYPE x histogram\n" +
+			"x_bucket{le=\"1\"} 5\nx_bucket{le=\"2\"} 3\nx_bucket{le=\"+Inf\"} 5\nx_sum 0\nx_count 5\n",
+		"missing +Inf": "# HELP x h\n# TYPE x histogram\n" +
+			"x_bucket{le=\"1\"} 1\nx_sum 1\nx_count 1\n",
+		"count mismatch": "# HELP x h\n# TYPE x histogram\n" +
+			"x_bucket{le=\"1\"} 1\nx_bucket{le=\"+Inf\"} 2\nx_sum 1\nx_count 3\n",
+		"missing sum": "# HELP x h\n# TYPE x histogram\n" +
+			"x_bucket{le=\"+Inf\"} 1\nx_count 1\n",
+		"bare histogram sample": "# HELP x h\n# TYPE x histogram\nx 1\n",
+	}
+	for name, payload := range cases {
+		if err := Lint([]byte(payload)); err == nil {
+			t.Errorf("%s: Lint accepted %q", name, payload)
+		}
+	}
+}
+
+func TestLintAcceptsLabeledHistograms(t *testing.T) {
+	payload := "# HELP x h\n# TYPE x histogram\n" +
+		"x_bucket{m=\"0\",le=\"1\"} 1\nx_bucket{m=\"0\",le=\"+Inf\"} 2\nx_sum{m=\"0\"} 3\nx_count{m=\"0\"} 2\n" +
+		"x_bucket{m=\"1\",le=\"1\"} 0\nx_bucket{m=\"1\",le=\"+Inf\"} 0\nx_sum{m=\"1\"} 0\nx_count{m=\"1\"} 0\n"
+	if err := Lint([]byte(payload)); err != nil {
+		t.Fatalf("Lint rejected labeled histograms: %v", err)
+	}
+}
+
+func TestTimelineWindows(t *testing.T) {
+	tl := NewTimeline(1, 8)
+	s := tl.Series("lat")
+	s.Observe(0.2, 10)
+	s.Observe(0.9, 20)
+	s.Observe(3.5, 6)
+	snap := tl.Snapshot(1)["lat"]
+	if len(snap) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(snap), snap)
+	}
+	w0 := snap[0]
+	if w0.Start != 0 || w0.End != 1 || w0.Count != 2 || w0.Sum != 30 || w0.Min != 10 || w0.Max != 20 || w0.Mean != 15 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if snap[1].Start != 3 || snap[1].Count != 1 {
+		t.Fatalf("window 1 = %+v", snap[1])
+	}
+
+	// Merged snapshot: k=4 groups align to multiples of 4 base windows.
+	merged := tl.Snapshot(4)["lat"]
+	if len(merged) != 1 || merged[0].Count != 3 || merged[0].Start != 0 || merged[0].End != 4 {
+		t.Fatalf("merged = %+v", merged)
+	}
+}
+
+func TestTimelineRingDropsOldWindows(t *testing.T) {
+	tl := NewTimeline(1, 4)
+	s := tl.Series("x")
+	for i := 0; i < 10; i++ {
+		s.Observe(float64(i)+0.5, 1)
+	}
+	snap := tl.Snapshot(1)["x"]
+	if len(snap) != 4 {
+		t.Fatalf("ring kept %d windows, want 4", len(snap))
+	}
+	if snap[0].Start != 6 || snap[3].Start != 9 {
+		t.Fatalf("live range = [%g, %g], want [6, 9]", snap[0].Start, snap[3].Start)
+	}
+	// A late observation folds into the oldest live window.
+	s.Observe(0.5, 5)
+	snap = tl.Snapshot(1)["x"]
+	if snap[0].Count != 2 {
+		t.Fatalf("late observation not folded into oldest window: %+v", snap[0])
+	}
+	// A far jump resets the ring.
+	s.Observe(1000.5, 1)
+	snap = tl.Snapshot(1)["x"]
+	if len(snap) != 1 || snap[0].Start != 1000 {
+		t.Fatalf("far jump: %+v", snap)
+	}
+}
+
+func TestSpanWriterValidJSON(t *testing.T) {
+	var b bytes.Buffer
+	w := NewSpanWriter(&b)
+	w.Complete("running", "job", 1, 7, 2.5, 1.5, map[string]any{"job": 7})
+	w.Instant("crash", "machine", 1, 0, 4, nil)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("span log is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["ts"] != 2.5e6 || events[0]["dur"] != 1.5e6 {
+		t.Fatalf("complete span = %+v", events[0])
+	}
+	if events[1]["ph"] != "i" {
+		t.Fatalf("instant span = %+v", events[1])
+	}
+	if !strings.HasPrefix(b.String(), "[\n") {
+		t.Fatal("missing array header")
+	}
+
+	var empty bytes.Buffer
+	w2 := NewSpanWriter(&empty)
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close empty: %v", err)
+	}
+	if empty.String() != "[]\n" {
+		t.Fatalf("empty span log = %q", empty.String())
+	}
+}
+
+// TestUpdatePathsAllocationFree pins the hot-path contract: counter, gauge,
+// histogram and timeline updates must not allocate, so the fleet can feed
+// them from its event path without perturbing the zero-alloc barrier.
+func TestUpdatePathsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h", "h", ExpBuckets(0.1, 2, 16))
+	tl := NewTimeline(1, 64)
+	s := tl.Series("s")
+	i := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(i)
+		h.Observe(i)
+		s.Observe(i, i)
+		i += 0.25
+	})
+	if allocs != 0 {
+		t.Fatalf("update path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestExpBucketsDeterministic(t *testing.T) {
+	a, b := ExpBuckets(0.1, 2, 16), ExpBuckets(0.1, 2, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bucket %d differs", i)
+		}
+		if i > 0 && !(a[i] > a[i-1]) {
+			t.Fatalf("bounds not increasing at %d", i)
+		}
+	}
+	lin := LinearBuckets(1, 0.05, 20)
+	if lin[0] != 1 || len(lin) != 20 {
+		t.Fatalf("linear buckets = %v", lin)
+	}
+}

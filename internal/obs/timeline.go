@@ -1,0 +1,193 @@
+package obs
+
+import "math"
+
+// Timeline rolls per-series windowed statistics over fixed sim-time
+// intervals: each series is a ring of equal-width windows holding
+// count/sum/min/max, updated allocation-free. The ring keeps the most
+// recent Slots windows; observations older than the live range fold into
+// the oldest window rather than resurrecting dropped ones, and a jump far
+// past the live range resets the ring (both deterministic functions of
+// the observation stream).
+type Timeline struct {
+	width  float64
+	slots  int
+	series []*TimeSeries
+	byName map[string]*TimeSeries
+}
+
+// DefaultTimelineSlots is the ring capacity when the caller passes 0.
+const DefaultTimelineSlots = 512
+
+// NewTimeline builds a timeline with the given base window width in
+// simulated seconds (default 1) and ring capacity (default
+// DefaultTimelineSlots).
+func NewTimeline(width float64, slots int) *Timeline {
+	if width <= 0 {
+		width = 1
+	}
+	if slots <= 0 {
+		slots = DefaultTimelineSlots
+	}
+	return &Timeline{width: width, slots: slots, byName: map[string]*TimeSeries{}}
+}
+
+// Width returns the base window width in simulated seconds.
+func (t *Timeline) Width() float64 { return t.width }
+
+// Series finds or creates the named series.
+func (t *Timeline) Series(name string) *TimeSeries {
+	if s, ok := t.byName[name]; ok {
+		return s
+	}
+	s := &TimeSeries{
+		name:  name,
+		width: t.width,
+		ring:  make([]windowAgg, t.slots),
+		first: -1,
+	}
+	t.series = append(t.series, s)
+	t.byName[name] = s
+	return s
+}
+
+// windowAgg is one window's aggregate.
+type windowAgg struct {
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+func (w *windowAgg) observe(v float64) {
+	if w.count == 0 || v < w.min {
+		w.min = v
+	}
+	if w.count == 0 || v > w.max {
+		w.max = v
+	}
+	w.count++
+	w.sum += v
+}
+
+// TimeSeries is one named ring of windows.
+type TimeSeries struct {
+	name  string
+	width float64
+	ring  []windowAgg
+	first int64 // absolute index of the oldest live window; -1 when empty
+	head  int   // ring position of the oldest live window
+	n     int   // live window count
+}
+
+// Observe records value v at simulated time t. Allocation-free.
+func (s *TimeSeries) Observe(t, v float64) {
+	idx := int64(math.Floor(t / s.width))
+	cap64 := int64(len(s.ring))
+	switch {
+	case s.n == 0:
+		s.first, s.head, s.n = idx, 0, 1
+		s.ring[0] = windowAgg{}
+	case idx < s.first:
+		// Late observation from before the live range: clamp into the
+		// oldest window rather than losing it silently.
+		idx = s.first
+	case idx >= s.first+int64(s.n):
+		if idx-s.first >= 2*cap64 {
+			// Far jump: nothing in the ring would survive; reset.
+			s.first, s.head, s.n = idx, 0, 1
+			s.ring[0] = windowAgg{}
+			break
+		}
+		// Drop windows that fall off the capacity, then zero-extend.
+		if shift := idx - s.first - cap64 + 1; shift > 0 {
+			s.head = int((int64(s.head) + shift) % cap64)
+			s.first += shift
+			s.n -= int(shift)
+			if s.n < 0 {
+				s.n = 0
+			}
+		}
+		for s.first+int64(s.n) <= idx {
+			s.ring[(s.head+s.n)%len(s.ring)] = windowAgg{}
+			s.n++
+		}
+	}
+	s.ring[(s.head+int(idx-s.first))%len(s.ring)].observe(v)
+}
+
+// WindowStat is one (possibly merged) window's aggregate, the /timeline
+// JSON element.
+type WindowStat struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Snapshot renders every series, merging k base windows per output window
+// (k >= 1). Merge groups align to absolute window indices that are
+// multiples of k, so the same stream snapshotted at the same instant
+// always produces the same groups. Empty windows are skipped.
+func (t *Timeline) Snapshot(k int) map[string][]WindowStat {
+	if k < 1 {
+		k = 1
+	}
+	out := make(map[string][]WindowStat, len(t.series))
+	for _, s := range t.series {
+		out[s.name] = s.snapshot(k)
+	}
+	return out
+}
+
+func (s *TimeSeries) snapshot(k int) []WindowStat {
+	out := []WindowStat{}
+	if s.n == 0 {
+		return out
+	}
+	var cur windowAgg
+	curGroup := int64(-1)
+	flush := func() {
+		if cur.count == 0 {
+			return
+		}
+		start := float64(curGroup*int64(k)) * s.width
+		out = append(out, WindowStat{
+			Start: start,
+			End:   start + float64(k)*s.width,
+			Count: cur.count,
+			Sum:   cur.sum,
+			Min:   cur.min,
+			Max:   cur.max,
+			Mean:  cur.sum / float64(cur.count),
+		})
+	}
+	for i := 0; i < s.n; i++ {
+		abs := s.first + int64(i)
+		w := s.ring[(s.head+i)%len(s.ring)]
+		if w.count == 0 {
+			continue
+		}
+		group := abs / int64(k)
+		if group != curGroup {
+			flush()
+			cur, curGroup = windowAgg{}, group
+		}
+		if cur.count == 0 {
+			cur = w
+		} else {
+			cur.count += w.count
+			cur.sum += w.sum
+			if w.min < cur.min {
+				cur.min = w.min
+			}
+			if w.max > cur.max {
+				cur.max = w.max
+			}
+		}
+	}
+	flush()
+	return out
+}

@@ -336,6 +336,13 @@ func (e *Engine) Now() float64 { return e.now }
 // Ticks returns the number of completed ticks.
 func (e *Engine) Ticks() int { return e.ticks }
 
+// LatMultipliers returns the per-node utilization-driven latency
+// multipliers the feedback loop has settled on — the engine's latency-
+// feedback fixed point, exposed read-only so observers can record it as a
+// first-class signal. The slice is the engine's own; callers must not
+// mutate it.
+func (e *Engine) LatMultipliers() []float64 { return e.latMult }
+
 // Apps returns the registered applications.
 func (e *Engine) Apps() []*App { return e.apps }
 
