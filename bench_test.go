@@ -287,12 +287,14 @@ func BenchmarkFleetThroughput(b *testing.B) {
 
 // BenchmarkFleetThroughputSharded measures the scheduler's multi-core
 // scaling axis: the identical warm-cache job stream over 8 machines at 1,
-// 2 and 4 shards with the worker pool sized to match. Least-loaded
-// routing keeps every placement — and the event log — bit-identical
-// across shard counts, so the sub-benchmarks do the same simulated work;
-// jobs/s differences are pure tick-advance parallelism. (On a single-core
-// runner the shard counts tie modulo barrier overhead; the ≥2x target for
-// /4 assumes ≥4 cores.)
+// 2 and 4 shards with the worker pool sized to match, under both advance
+// engines (v1 per-tick barrier, v2 conservative-lookahead windows).
+// Least-loaded routing keeps every placement — and, per engine, the
+// event log — bit-identical across shard counts, so the sub-benchmarks
+// do the same simulated work; jobs/s differences are pure tick-advance
+// parallelism. (On a single-core runner the shard counts tie modulo
+// barrier overhead; the /4-beats-/1 gate for v2 assumes ≥4 cores and is
+// enforced by the CI multicore job via TestShardScalingMultiCoreGate.)
 func BenchmarkFleetThroughputSharded(b *testing.B) {
 	cache := bwap.NewTuningCache(bwap.Config{Seed: 1}, 0, 1)
 	const jobs = 24
@@ -316,34 +318,37 @@ func BenchmarkFleetThroughputSharded(b *testing.B) {
 	if _, err := warm.Run(); err != nil {
 		b.Fatal(err)
 	}
-	for _, shards := range []int{1, 2, 4} {
-		b.Run(fmt.Sprint(shards), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				f, err := bwap.NewFleet(bwap.FleetConfig{
-					Machines: 8,
-					Shards:   shards,
-					Workers:  shards,
-					SimCfg:   bwap.Config{Seed: 1},
-					Seed:     1,
-					Cache:    cache,
-				})
-				if err != nil {
-					b.Fatal(err)
+	for _, engine := range []int{1, 2} {
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("v%d/%d", engine, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					f, err := bwap.NewFleet(bwap.FleetConfig{
+						Machines:      8,
+						Shards:        shards,
+						Workers:       shards,
+						EngineVersion: engine,
+						SimCfg:        bwap.Config{Seed: 1},
+						Seed:          1,
+						Cache:         cache,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := f.SubmitStream(stream); err != nil {
+						b.Fatal(err)
+					}
+					stats, err := f.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if stats.Completed != jobs {
+						b.Fatalf("completed %d/%d", stats.Completed, jobs)
+					}
 				}
-				if err := f.SubmitStream(stream); err != nil {
-					b.Fatal(err)
-				}
-				stats, err := f.Run()
-				if err != nil {
-					b.Fatal(err)
-				}
-				if stats.Completed != jobs {
-					b.Fatalf("completed %d/%d", stats.Completed, jobs)
-				}
-			}
-			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
-		})
+				b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
 	}
 }
 

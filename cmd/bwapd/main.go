@@ -4,11 +4,13 @@
 // by the selected placement policy (BWAP placements come from the
 // single-flight tuning cache, so repeat jobs skip re-profiling), and
 // advanced through simulated time by a background clock decoupled from wall
-// time. With -shards > 1 the shards advance concurrently under a per-tick
-// barrier — the daemon's multi-core scaling axis; the event log stays
-// bit-identical for a given seed regardless of the worker count. See the
-// fleet section of DESIGN.md for the event model and the replayable JSONL
-// log format.
+// time. With -shards > 1 the shards advance concurrently — under a per-tick
+// barrier with -engine 1 (the frozen reference), or free-running through
+// conservative-lookahead windows with -engine 2 — the daemon's multi-core
+// scaling axis; the event log stays bit-identical for a given seed and
+// engine regardless of the shard and worker counts. See the fleet section
+// and §12 of DESIGN.md for the event model, the replayable JSONL log
+// format and the engine-version policy.
 //
 // The tuning cache is durable: -cache-file loads a snapshot on boot (warm
 // start — repeated workload signatures skip re-profiling across restarts)
@@ -23,6 +25,7 @@
 //	bwapd                                   # 2× Machine B fleet on :8080
 //	bwapd -machines 8 -machine A -policy bwap -sim-rate 500
 //	bwapd -machines 8 -shards 4 -shard-workers 4   # multi-core tick advance
+//	bwapd -shards 4 -engine 2               # windowed (lookahead) advance
 //	bwapd -routing hash-affinity -admission best-bandwidth
 //	bwapd -log fleet-events.jsonl           # mirror the event log to disk
 //	bwapd -cache-file tuning.json           # warm-startable tuning cache
@@ -87,6 +90,7 @@ func main() {
 	machines := flag.Int("machines", 2, "fleet size")
 	shards := flag.Int("shards", 1, "shard count (per-shard event loops advanced in parallel)")
 	shardWorkers := flag.Int("shard-workers", 0, "goroutines advancing shards (0 = min(shards, GOMAXPROCS))")
+	engine := flag.Int("engine", 0, "advance engine: 1 = per-tick barrier (reference), 2 = conservative-lookahead windows (0 = BWAP_ENGINE env, else 1)")
 	routing := flag.String("routing", fleet.RouteLeastLoaded, "job routing tier: least-loaded, hash-affinity, round-robin")
 	admission := flag.String("admission", fleet.AdmitMostFree, "node-selection policy: most-free, best-bandwidth, anti-affinity")
 	machine := flag.String("machine", "B", "machine model: A (8-node Opteron), B (4-node Xeon)")
@@ -116,8 +120,16 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	slog.SetDefault(logger)
+	// Output flushers, reassigned as each sink opens (and idempotent, so
+	// the normal and fatal exit paths may both run them). fatal flushes
+	// before exiting: a failure after hours of serving must still leave a
+	// valid span log and a synced event log behind.
+	closeSpans := func() {}
+	syncEventLog := func() {}
 	fatal := func(err error) {
 		logger.Error("fatal", "err", err)
+		closeSpans()
+		syncEventLog()
 		os.Exit(1)
 	}
 
@@ -180,6 +192,7 @@ func main() {
 		Machines:       *machines,
 		Shards:         *shards,
 		Workers:        *shardWorkers,
+		EngineVersion:  *engine,
 		Routing:        *routing,
 		Admission:      *admission,
 		NewMachine:     newMachine,
@@ -211,15 +224,23 @@ func main() {
 	} else if *spanLog != "" {
 		logger.Warn("-span-log ignored without -obs")
 	}
-	closeSpans := func() {
-		if cfg.Obs == nil {
+	spansClosed := false
+	closeSpans = func() {
+		if spansClosed || cfg.Obs == nil {
 			return
 		}
+		spansClosed = true
 		if err := cfg.Obs.CloseSpans(); err != nil {
 			logger.Warn("span log close failed", "err", err)
 		}
 		if spanFile != nil {
-			spanFile.Close() //nolint:errcheck // CloseSpans flushed and reported
+			// Sync before Close: the terminating "]" CloseSpans just wrote
+			// must hit the disk, or a crash right after exit leaves a span
+			// file that is not valid JSON.
+			if err := spanFile.Sync(); err != nil {
+				logger.Warn("span log sync failed", "err", err)
+			}
+			spanFile.Close() //nolint:errcheck // synced and reported above
 			logger.Info("span log written", "file", *spanLog)
 		}
 	}
@@ -241,6 +262,11 @@ func main() {
 		}
 		defer f.Close()
 		cfg.LogW = f
+		syncEventLog = func() {
+			if err := f.Sync(); err != nil {
+				logger.Warn("event log sync failed", "err", err)
+			}
+		}
 	}
 
 	if *replayPath != "" {
@@ -278,10 +304,15 @@ func main() {
 		httpSrv.Shutdown(drainCtx) //nolint:errcheck // exiting anyway
 	}()
 
-	fmt.Printf("bwapd: %d× machine %s fleet (%d shards), policy %s, routing %s, admission %s, listening on %s\n",
-		*machines, *machine, *shards, *policy, *routing, *admission, *addr)
+	fmt.Printf("bwapd: %d× machine %s fleet (%d shards, engine v%d), policy %s, routing %s, admission %s, listening on %s\n",
+		*machines, *machine, *shards, fl.Stats().EngineVersion, *policy, *routing, *admission, *addr)
 	err = httpSrv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Tear the driver down before fatal flushes the span log: the clock
+		// goroutine must not append spans behind the terminated array.
+		cancel()
+		<-drained
+		srv.Stop()
 		fatal(err)
 	}
 	// ListenAndServe returns the instant Shutdown is called; wait for the

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"os"
+
+	"bwap/internal/obs"
+	"bwap/internal/workload"
+)
+
+// v2 returns cfg switched to the conservative-lookahead engine; v1 pins
+// the barrier engine explicitly, so the comparison tests hold even when
+// BWAP_ENGINE=2 flips the suite-wide default.
+func v2(cfg Config) Config {
+	cfg.EngineVersion = 2
+	return cfg
+}
+
+func v1(cfg Config) Config {
+	cfg.EngineVersion = 1
+	return cfg
+}
+
+// testingNoFastForward mirrors the engine's BWAP_NO_FASTFORWARD knob.
+func testingNoFastForward() bool {
+	return os.Getenv("BWAP_NO_FASTFORWARD") == "1"
+}
+
+func TestEngineVersionValidation(t *testing.T) {
+	cfg := shardConfig(PolicyFirstTouch, AdmitMostFree, 1, 1, 1)
+	cfg.EngineVersion = 3
+	if _, err := New(cfg); err == nil {
+		t.Fatal("engine version 3 accepted")
+	}
+	cfg.EngineVersion = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("engine version -1 accepted")
+	}
+
+	// BWAP_ENGINE fills only a zero EngineVersion, and bad values are
+	// rejected by New rather than silently mapped to a default.
+	t.Setenv("BWAP_ENGINE", "2")
+	f, err := New(shardConfig(PolicyFirstTouch, AdmitMostFree, 1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().EngineVersion; got != 2 {
+		t.Fatalf("BWAP_ENGINE=2 gave engine %d", got)
+	}
+	cfg = shardConfig(PolicyFirstTouch, AdmitMostFree, 1, 1, 1)
+	cfg.EngineVersion = 1 // explicit config beats the environment
+	f, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().EngineVersion; got != 1 {
+		t.Fatalf("explicit engine 1 overridden to %d", got)
+	}
+	t.Setenv("BWAP_ENGINE", "9")
+	if _, err := New(shardConfig(PolicyFirstTouch, AdmitMostFree, 1, 1, 1)); err == nil {
+		t.Fatal("BWAP_ENGINE=9 accepted")
+	}
+}
+
+// TestEngineV2ReplayShardWorkerEquivalence is the v2 determinism contract:
+// the merged (t, kind, seq) log is bit-identical for every shard/worker
+// partition, exactly as the v1 suite pins for the barrier engine — even
+// though shards now free-run through multi-tick windows between barriers.
+func TestEngineV2ReplayShardWorkerEquivalence(t *testing.T) {
+	for _, admission := range []string{AdmitMostFree, AdmitBestBandwidth, AdmitAntiAffinity} {
+		var base []byte
+		for _, c := range replayCombos {
+			f, stats := runFleet(t, v2(shardConfig(PolicyBWAP, admission, c.shards, c.workers, 7)), shardStreams())
+			if stats.Completed != stats.Jobs {
+				t.Fatalf("%s %d/%d: %d of %d jobs completed", admission, c.shards, c.workers, stats.Completed, stats.Jobs)
+			}
+			if base == nil {
+				base = f.LogBytes()
+				continue
+			}
+			if !bytes.Equal(base, f.LogBytes()) {
+				t.Fatalf("%s: v2 log differs at shards=%d workers=%d", admission, c.shards, c.workers)
+			}
+		}
+	}
+}
+
+// TestEngineV2ChaosTraceReplayShardInvariance extends the chaos replay
+// suite to the parallel engine: a trace recorded under v2 with fault
+// injection reproduces itself bit for bit at 1, 2 and 4 shards.
+func TestEngineV2ChaosTraceReplayShardInvariance(t *testing.T) {
+	rec, stats := runFleet(t, v2(chaosShardConfig(1, 1, false)), shardStreams())
+	if stats.Evacuations == 0 && stats.Retries == 0 {
+		t.Fatal("recorded run hit no faults; shard invariance would be vacuous")
+	}
+	resolve := func(name string) (workload.Spec, error) {
+		spec := testSpec(name)
+		if name == "modest" {
+			spec.ReadGBs, spec.WriteGBs = 3, 0.5
+		}
+		return spec, nil
+	}
+	trace, err := ReadTrace(rec.LogBytes(), resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		f, _ := runFleet(t, v2(chaosShardConfig(shards, shards, false)), trace)
+		if !bytes.Equal(rec.LogBytes(), f.LogBytes()) {
+			t.Fatalf("v2 chaos replay at %d shards changed the log\n--- recorded ---\n%s\n--- replay ---\n%s",
+				shards, rec.LogBytes(), f.LogBytes())
+		}
+	}
+}
+
+// TestEngineV2MetricsReplayByteIdentical runs the telemetry-attached
+// replay matrix (chaos plan + observer + spans) under the parallel
+// engine: log, /metrics text, timeline JSON and span log must all be
+// byte-identical at 1, 2 and 4 shards.
+func TestEngineV2MetricsReplayByteIdentical(t *testing.T) {
+	cfg := v2(obsFaultConfig(1, 1))
+	var baseSpans bytes.Buffer
+	cfg.Obs = NewObserver(ObserverConfig{SpanW: &baseSpans})
+	recorded, _ := runFleet(t, cfg, shardStreams())
+	if err := recorded.Observer().CloseSpans(); err != nil {
+		t.Fatal(err)
+	}
+	baseMetrics := metricsOf(t, recorded)
+	baseTimeline := timelineJSON(t, recorded, 2)
+	if err := obs.Lint(baseMetrics); err != nil {
+		t.Fatalf("v2 exposition failed lint: %v", err)
+	}
+
+	streams, err := ReadTrace(recorded.LogBytes(), obsResolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ shards, workers int }{{1, 1}, {2, 2}, {4, 4}} {
+		rcfg := v2(obsFaultConfig(c.shards, c.workers))
+		var spans bytes.Buffer
+		rcfg.Obs = NewObserver(ObserverConfig{SpanW: &spans})
+		rf, _ := runFleet(t, rcfg, streams)
+		if err := rf.Observer().CloseSpans(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(recorded.LogBytes(), rf.LogBytes()) {
+			t.Fatalf("shards=%d: v2 replay diverged from recording", c.shards)
+		}
+		if got := metricsOf(t, rf); !bytes.Equal(baseMetrics, got) {
+			t.Fatalf("shards=%d changed v2 /metrics\n--- base ---\n%s\n--- got ---\n%s",
+				c.shards, baseMetrics, got)
+		}
+		if got := timelineJSON(t, rf, 2); !bytes.Equal(baseTimeline, got) {
+			t.Fatalf("shards=%d changed the v2 timeline", c.shards)
+		}
+		if !bytes.Equal(baseSpans.Bytes(), spans.Bytes()) {
+			t.Fatalf("shards=%d changed the v2 span log", c.shards)
+		}
+	}
+}
+
+// TestEngineV2FastForwardEquivalence pins that the v2 free-run path —
+// mixed memoized replays and full Steps inside a window — is
+// byte-identical to the naive all-Steps loop, across routings and shard
+// counts, just as TestFastForwardFleetEquivalence pins for v1.
+func TestEngineV2FastForwardEquivalence(t *testing.T) {
+	if ffForcedOffEnv(t) {
+		return
+	}
+	for _, routing := range []string{RouteLeastLoaded, RouteHashAffinity, RouteRoundRobin} {
+		for _, shards := range []int{1, 2, 4} {
+			on, _ := runFleet(t, v2(ffShardConfig(routing, shards, false)), shardStreams())
+			off, _ := runFleet(t, v2(ffShardConfig(routing, shards, true)), shardStreams())
+			if !bytes.Equal(on.LogBytes(), off.LogBytes()) {
+				t.Fatalf("%s/%d shards: v2 fast-forward changed the log\n--- on ---\n%s\n--- off ---\n%s",
+					routing, shards, on.LogBytes(), off.LogBytes())
+			}
+		}
+	}
+}
+
+// TestEngineV2ReplaysMoreTicks pins the point of the latency-feedback
+// snap: on the dense shard stream the v1 engines spend dozens of ticks
+// after every perturbation chasing sub-ULP feedback drift (latEpoch
+// churn blocks the replay path), while v2 snaps to the fixed point and
+// replays a strictly larger share of ticks.
+func TestEngineV2ReplaysMoreTicks(t *testing.T) {
+	if ffForcedOffEnv(t) {
+		return
+	}
+	fraction := func(cfg Config) (float64, *Stats) {
+		_, stats := runFleet(t, cfg, shardStreams())
+		total := stats.TickSolves + stats.TickReplays
+		if total == 0 {
+			t.Fatal("no ticks ran")
+		}
+		return float64(stats.TickReplays) / float64(total), stats
+	}
+	f1, _ := fraction(v1(shardConfig(PolicyBWAP, AdmitMostFree, 2, 2, 7)))
+	f2, s2 := fraction(v2(shardConfig(PolicyBWAP, AdmitMostFree, 2, 2, 7)))
+	if f2 <= f1 {
+		t.Fatalf("v2 replay fraction %.3f not above v1's %.3f", f2, f1)
+	}
+	if f2 < 0.32 {
+		t.Fatalf("v2 replays %.1f%% of ticks on the dense stream, want > 32%%", 100*f2)
+	}
+	if s2.Completed != s2.Jobs {
+		t.Fatalf("v2 run completed %d of %d jobs", s2.Completed, s2.Jobs)
+	}
+	t.Logf("replay fraction: v1 %.3f -> v2 %.3f", f1, f2)
+}
+
+// ffForcedOffEnv skips comparisons that are vacuous (or wrong by design)
+// when BWAP_NO_FASTFORWARD forces the naive loop for the whole run.
+func ffForcedOffEnv(t *testing.T) bool {
+	t.Helper()
+	if noFF := testingNoFastForward(); noFF {
+		t.Log("BWAP_NO_FASTFORWARD=1: replay-path comparison skipped")
+		return true
+	}
+	return false
+}
+
+// TestEngineV1LogFrozen pins the v1 reference bytes: the barrier engine's
+// log for a fixed config and stream is frozen across PRs (the hash was
+// recorded when v2 landed), so any drift in v1 semantics — however the
+// advance machinery evolves — fails loudly rather than silently moving
+// the reference.
+func TestEngineV1LogFrozen(t *testing.T) {
+	if testingNoFastForward() {
+		t.Skip("BWAP_NO_FASTFORWARD changes nothing in the bytes but runs the slow path")
+	}
+	f, _ := runFleet(t, v1(chaosShardConfig(2, 2, false)), shardStreams())
+	sum := sha256.Sum256(f.LogBytes())
+	const want = "c62be096b51da97f1a3ef5aaacba9b622426d42dfa09fd086834f19ecbbc7018"
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("v1 reference log hash drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestEngineVersionInStats pins the /fleet surface: the engine version a
+// fleet runs with is visible to clients.
+func TestEngineVersionInStats(t *testing.T) {
+	f, stats := runFleet(t, v2(shardConfig(PolicyFirstTouch, AdmitMostFree, 2, 2, 3)), shardStreams())
+	if stats.EngineVersion != 2 {
+		t.Fatalf("stats report engine %d, want 2", stats.EngineVersion)
+	}
+	data, err := json.Marshal(f.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"engine_version":2`)) {
+		t.Fatalf("engine_version missing from stats JSON: %s", data)
+	}
+}

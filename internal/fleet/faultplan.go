@@ -2,12 +2,19 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 
 	"bwap/internal/workload"
 )
+
+// ErrBadFaultPlan wraps every plan-validity failure from Validate and
+// LoadFaultPlan (bad JSON, unknown kinds, negative parameters, impossible
+// schedules). I/O errors reading a plan file are not wrapped: they say
+// nothing about the plan itself. Callers branch with errors.Is.
+var ErrBadFaultPlan = errors.New("fleet: invalid fault plan")
 
 // FaultPlan is a deterministic machine-lifecycle schedule: a set of
 // crash/drain/recover/machine-add specs that the fleet materializes into
@@ -117,21 +124,37 @@ func (p *FaultPlan) Validate(machines int) error {
 	for i, s := range p.Faults {
 		kind, err := faultKind(s.Kind)
 		if err != nil {
-			return fmt.Errorf("fleet: fault %d: %w", i, err)
+			return fmt.Errorf("%w: fault %d: %v", ErrBadFaultPlan, i, err)
 		}
 		if s.At < 0 || s.Every < 0 || s.Stagger < 0 || s.Jitter < 0 || s.RecoverAfter < 0 {
-			return fmt.Errorf("fleet: fault %d (%s): negative time parameter", i, s.Kind)
+			return fmt.Errorf("%w: fault %d (%s): negative time parameter", ErrBadFaultPlan, i, s.Kind)
+		}
+		if s.Count < 0 {
+			return fmt.Errorf("%w: fault %d (%s): negative count %d", ErrBadFaultPlan, i, s.Kind, s.Count)
 		}
 		if s.Count > 1 && s.Every == 0 {
-			return fmt.Errorf("fleet: fault %d (%s): count %d needs a period", i, s.Kind, s.Count)
+			return fmt.Errorf("%w: fault %d (%s): count %d needs a period", ErrBadFaultPlan, i, s.Kind, s.Count)
+		}
+		// A repeating crash/drain whose scheduled recovery can land on or
+		// past the next occurrence (jitter counts: it delays the fault, and
+		// the paired recover rides RecoverAfter behind it) would re-fault a
+		// machine that never came back up — reject the overlap rather than
+		// materialize a lifecycle the plan author cannot have meant.
+		if s.Count > 1 && s.RecoverAfter > 0 && (kind == evCrash || kind == evDrain) &&
+			s.RecoverAfter+s.Jitter >= s.Every {
+			return fmt.Errorf("%w: fault %d (%s): recover_after %g + jitter %g overlaps the next occurrence (every %g)",
+				ErrBadFaultPlan, i, s.Kind, s.RecoverAfter, s.Jitter, s.Every)
 		}
 		if kind == evMachineAdd {
 			continue
 		}
+		if machines+adds <= 0 {
+			return fmt.Errorf("%w: fault %d (%s): no machines to target", ErrBadFaultPlan, i, s.Kind)
+		}
 		for _, m := range s.Machines {
 			if m < 0 || m >= machines+adds {
-				return fmt.Errorf("fleet: fault %d (%s): machine %d out of range (fleet of %d, %d planned adds)",
-					i, s.Kind, m, machines, adds)
+				return fmt.Errorf("%w: fault %d (%s): machine %d out of range (fleet of %d, %d planned adds)",
+					ErrBadFaultPlan, i, s.Kind, m, machines, adds)
 			}
 		}
 	}
@@ -201,10 +224,10 @@ func LoadFaultPlan(path string) (*FaultPlan, error) {
 	}
 	var p FaultPlan
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("fleet: fault plan %s: %w", path, err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadFaultPlan, path, err)
 	}
 	if len(p.Faults) == 0 {
-		return nil, fmt.Errorf("fleet: fault plan %s: no faults", path)
+		return nil, fmt.Errorf("%w: %s: no faults", ErrBadFaultPlan, path)
 	}
 	return &p, nil
 }

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFaultPlanValidateRejects is the table of invalid plans: every
+// rejection is typed (errors.Is ErrBadFaultPlan) and the message names
+// the offending spec.
+func TestFaultPlanValidateRejects(t *testing.T) {
+	cases := []struct {
+		name     string
+		machines int
+		spec     FaultSpec
+		wantSub  string
+	}{
+		{"unknown kind", 4, FaultSpec{Kind: "meteor", At: 1}, "unknown fault kind"},
+		{"negative at", 4, FaultSpec{Kind: FaultCrash, At: -1}, "negative time"},
+		{"negative every", 4, FaultSpec{Kind: FaultCrash, At: 1, Every: -2}, "negative time"},
+		{"negative stagger", 4, FaultSpec{Kind: FaultDrain, At: 1, Stagger: -0.5}, "negative time"},
+		{"negative jitter", 4, FaultSpec{Kind: FaultCrash, At: 1, Jitter: -1}, "negative time"},
+		{"negative recover_after", 4, FaultSpec{Kind: FaultDrain, At: 1, RecoverAfter: -3}, "negative time"},
+		{"negative count", 4, FaultSpec{Kind: FaultCrash, At: 1, Every: 2, Count: -2}, "negative count"},
+		{"count without period", 4, FaultSpec{Kind: FaultCrash, At: 1, Count: 3}, "needs a period"},
+		{"recover overlaps next crash", 4,
+			FaultSpec{Kind: FaultCrash, At: 1, Every: 5, Count: 3, RecoverAfter: 5}, "overlaps the next occurrence"},
+		{"jitter pushes recover past period", 4,
+			FaultSpec{Kind: FaultDrain, At: 1, Every: 5, Count: 2, RecoverAfter: 4, Jitter: 1.5}, "overlaps the next occurrence"},
+		{"zero-machine fleet", 0, FaultSpec{Kind: FaultCrash, At: 1}, "no machines to target"},
+		{"machine out of range", 4, FaultSpec{Kind: FaultDrain, Machines: []int{4}, At: 1}, "out of range"},
+		{"negative machine id", 4, FaultSpec{Kind: FaultRecover, Machines: []int{-1}, At: 1}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &FaultPlan{Faults: []FaultSpec{tc.spec}}
+			err := p.Validate(tc.machines)
+			if err == nil {
+				t.Fatalf("plan accepted: %+v", tc.spec)
+			}
+			if !errors.Is(err, ErrBadFaultPlan) {
+				t.Fatalf("error not typed ErrBadFaultPlan: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// The boundary cases the table's rejections bracket stay valid: a
+	// recover window strictly inside the period, a forward reference to a
+	// machine the plan itself adds, and a machine-add on an empty fleet.
+	ok := &FaultPlan{Faults: []FaultSpec{
+		{Kind: FaultCrash, At: 1, Every: 5, Count: 3, RecoverAfter: 4, Jitter: 0.5},
+		{Kind: FaultMachineAdd, At: 2},
+		{Kind: FaultDrain, Machines: []int{4}, At: 3},
+	}}
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	add := &FaultPlan{Faults: []FaultSpec{{Kind: FaultMachineAdd, At: 1}}}
+	if err := add.Validate(0); err != nil {
+		t.Fatalf("machine-add on an empty fleet rejected: %v", err)
+	}
+}
+
+// TestLoadFaultPlanErrors pins the file surface: unparseable JSON and
+// empty plans are typed plan errors; a missing file is a plain I/O error.
+func TestLoadFaultPlanErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadFaultPlan(write("bad.json", "{not json")); !errors.Is(err, ErrBadFaultPlan) {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if _, err := LoadFaultPlan(write("empty.json", `{"faults":[]}`)); !errors.Is(err, ErrBadFaultPlan) {
+		t.Fatalf("empty plan: %v", err)
+	}
+	if _, err := LoadFaultPlan(filepath.Join(dir, "absent.json")); err == nil || errors.Is(err, ErrBadFaultPlan) {
+		t.Fatalf("missing file should be an I/O error, got %v", err)
+	}
+	good, err := LoadFaultPlan(write("good.json", `{"faults":[{"kind":"crash","at":1}]}`))
+	if err != nil || len(good.Faults) != 1 {
+		t.Fatalf("good plan: %v %+v", err, good)
+	}
+}
+
+// FuzzFaultPlanValidate feeds arbitrary JSON through the load/validate/
+// materialize pipeline and holds the pair of invariants the fleet
+// constructor relies on: a plan Validate accepts always materializes
+// without error into a time-sorted, non-negative schedule, and a plan
+// Validate rejects is rejected with the typed sentinel.
+func FuzzFaultPlanValidate(f *testing.F) {
+	f.Add(`{"faults":[{"kind":"crash","at":1}]}`, 4)
+	f.Add(`{"faults":[{"kind":"drain","machines":[0,2],"at":2,"every":13,"count":3,"recover_after":5}]}`, 4)
+	f.Add(`{"faults":[{"kind":"machine-add","at":9},{"kind":"crash","machines":[8],"at":10}]}`, 8)
+	f.Add(`{"faults":[{"kind":"crash","at":4,"every":11,"count":3,"stagger":3,"jitter":1,"recover_after":4}]}`, 3)
+	f.Add(`{"faults":[{"kind":"crash","at":1,"every":2,"count":-1}]}`, 2)
+	f.Add(`{"seed":7,"faults":[{"kind":"recover","at":0.5,"jitter":0.25}]}`, 1)
+	f.Fuzz(func(t *testing.T, body string, machines int) {
+		if machines < 0 || machines > 64 {
+			return
+		}
+		var p FaultPlan
+		if json.Unmarshal([]byte(body), &p) != nil {
+			return
+		}
+		err := p.Validate(machines)
+		if err != nil {
+			if !errors.Is(err, ErrBadFaultPlan) {
+				t.Fatalf("Validate rejection not typed: %v", err)
+			}
+			if _, merr := p.materialize(machines, 1); merr == nil {
+				t.Fatal("materialize accepted a plan Validate rejected")
+			}
+			return
+		}
+		evs, merr := p.materialize(machines, 1)
+		if merr != nil {
+			t.Fatalf("materialize failed on a validated plan: %v", merr)
+		}
+		if !sort.SliceIsSorted(evs, func(a, b int) bool { return evs[a].t < evs[b].t }) {
+			t.Fatal("materialized schedule not time-sorted")
+		}
+		for _, ev := range evs {
+			if ev.t < 0 {
+				t.Fatalf("materialized event at negative time %g", ev.t)
+			}
+		}
+	})
+}

@@ -38,7 +38,9 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"os"
 	"runtime"
+	"strconv"
 
 	"bwap/internal/core"
 	"bwap/internal/policy"
@@ -72,6 +74,19 @@ type Config struct {
 	// (default min(Shards, GOMAXPROCS); clamped to Shards). The event log
 	// is bit-identical for any worker count.
 	Workers int
+	// EngineVersion selects the advance engine. 1 (the default) is the
+	// per-tick barrier loop with quiescent batching — the CI reference
+	// whose logs are frozen byte for byte across PRs. 2 is the
+	// conservative-lookahead windowed engine: shards free-run to a
+	// provable completion-free horizon between barriers instead of
+	// re-entering a fleet-wide barrier every tick, and engines snap the
+	// latency-feedback smoothing to its float fixed point (a deliberate,
+	// versioned bit-compat break — see DESIGN.md §12). Both versions keep
+	// the hard determinism contract: the merged (t, kind, seq) event log
+	// is bit-identical for any shard and worker count. The BWAP_ENGINE
+	// environment variable overrides a zero value, so whole test suites
+	// can run under either engine without touching configs.
+	EngineVersion int
 	// Routing selects the job→shard tier (default RouteLeastLoaded).
 	Routing string
 	// Admission selects the node-selection policy on the admitting
@@ -168,6 +183,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoffCap <= 0 {
 		c.RetryBackoffCap = 60
+	}
+	if c.EngineVersion == 0 {
+		c.EngineVersion = 1
+		if v := os.Getenv("BWAP_ENGINE"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				c.EngineVersion = n // New rejects out-of-range values loudly
+			}
+		}
 	}
 	return c
 }
@@ -348,6 +371,15 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards > cfg.Machines {
 		return nil, fmt.Errorf("fleet: %d shards for %d machines", cfg.Shards, cfg.Machines)
 	}
+	if cfg.EngineVersion != 1 && cfg.EngineVersion != 2 {
+		return nil, fmt.Errorf("fleet: unknown engine version %d (have 1, 2)", cfg.EngineVersion)
+	}
+	if cfg.EngineVersion >= 2 {
+		// The windowed engine opts every machine — including ones a
+		// machine-add fault grows later, which inherit cfg.SimCfg — into
+		// the latency-feedback fixed-point snap.
+		cfg.SimCfg.SnapLatFeedback = true
+	}
 	router, err := NewRouting(cfg.Routing)
 	if err != nil {
 		return nil, err
@@ -379,7 +411,7 @@ func New(cfg Config) (*Fleet, error) {
 		f.cache.SetProbeObserver(f.obs.observeProbe)
 	}
 	for s := 0; s < cfg.Shards; s++ {
-		f.shards = append(f.shards, &shard{id: s})
+		f.shards = append(f.shards, &shard{id: s, v2: cfg.EngineVersion >= 2})
 	}
 	for i := 0; i < cfg.Machines; i++ {
 		topo := cfg.NewMachine(i)
@@ -727,6 +759,47 @@ func (f *Fleet) quiescentBatch(t float64) int {
 		}
 		if q < k {
 			k = q
+		}
+	}
+	return k
+}
+
+// batchTicks sizes the next barrier-free advance step for the configured
+// engine: v1 batches only provably quiescent windows, v2 free-runs to the
+// conservative-lookahead horizon.
+func (f *Fleet) batchTicks(t float64) int {
+	if f.cfg.EngineVersion >= 2 {
+		return f.lookaheadWindow(t)
+	}
+	return f.quiescentBatch(t)
+}
+
+// lookaheadWindow is the engine-v2 window sizer: the number of ticks the
+// shards may free-run without any barrier, capped so the clock stays
+// strictly below t (the next scheduled event already on a heap) and below
+// every machine's completion horizon (the only event kind that emerges
+// from inside an engine rather than from a heap; see
+// sim.CompletionHorizonTicks for the demand-bound proof). Unlike
+// quiescentBatch this does not require quiescence — solves, phase
+// changes and init bursts may all happen inside the window — so a busy
+// fleet pays one barrier per emergent event instead of one per tick. The
+// window size is a pure function of global fleet state, identical for
+// every shard and worker count, which keeps the merged log invariant.
+func (f *Fleet) lookaheadWindow(t float64) int {
+	rt := (t - f.now) / f.dt
+	if !(rt < 1<<40) {
+		rt = 1 << 40
+	}
+	k := int(rt) - 1 // strictly below t: the tail ticks use the exact clock test
+	if k < 1 {
+		return 1
+	}
+	for _, m := range f.machines {
+		if h := m.eng.CompletionHorizonTicks(k); h < k {
+			if h < 1 {
+				return 1
+			}
+			k = h
 		}
 	}
 	return k

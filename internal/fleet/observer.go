@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"sync"
 
 	"bwap/internal/obs"
 	"bwap/internal/sim"
@@ -38,9 +39,14 @@ type ObserverConfig struct {
 // a byte, and replaying a recorded trace reproduces the /metrics
 // exposition byte for byte (both pinned by tests).
 //
-// Like the Fleet itself, an Observer is not safe for concurrent use and
-// must not be shared between fleets.
+// All observer state sits behind its own mutex: the fleet feeds records
+// from its single scheduling thread, while exposition (WriteMetrics,
+// TimelineSnapshot) may run concurrently from HTTP handlers without
+// holding the fleet's lock — a slow scraper serializes against other
+// scrapes, not against the simulation. An Observer still must not be
+// shared between fleets.
 type Observer struct {
+	mu    sync.Mutex
 	reg   *obs.Registry
 	tl    *obs.Timeline
 	spans *obs.SpanWriter
@@ -59,6 +65,10 @@ type Observer struct {
 
 	// Timeline series.
 	tlArrivals, tlCompletions, tlTurnaround, tlQueueWait *obs.TimeSeries
+
+	// simTime is the fleet clock captured by the last syncGauges — the
+	// timeline's notion of "now" when rendered off the fleet's lock.
+	simTime float64
 
 	// Instantaneous gauges, synced from fleet state at exposition time.
 	gSimTime, gMachines, gMachinesUp *obs.Gauge
@@ -160,6 +170,8 @@ func (o *Observer) CloseSpans() error {
 	if o.spans == nil {
 		return nil
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.spans.Close()
 }
 
@@ -168,6 +180,8 @@ func (o *Observer) SpanErr() error {
 	if o.spans == nil {
 		return nil
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.spans.Err()
 }
 
@@ -193,8 +207,12 @@ func pid(machine int) int { return machine + 1 }
 
 // record consumes one event-log record — the observer's only input on the
 // scheduler path. For already-tracked jobs with spans disabled this path
-// is allocation-free (pinned by TestObserverRecordAllocationFree).
+// is allocation-free (pinned by TestObserverRecordAllocationFree); the
+// uncontended mutex costs nanoseconds and keeps exposition off the
+// fleet's lock.
 func (o *Observer) record(rec Record) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	switch rec.Type {
 	case "arrive":
 		for len(o.jobs) < rec.Job {
@@ -306,6 +324,8 @@ func (o *Observer) record(rec Record) {
 // Called at completion events, a deterministic point of the record
 // stream, so the histogram is shard- and worker-invariant.
 func (o *Observer) observeEngine(eng *sim.Engine) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	for _, v := range eng.LatMultipliers() {
 		o.latMult.Observe(v)
 	}
@@ -314,6 +334,8 @@ func (o *Observer) observeEngine(eng *sim.Engine) {
 // observeProbe receives every tuning-probe run's elapsed simulated time
 // (wired through TuningCache.SetProbeObserver).
 func (o *Observer) observeProbe(simSeconds float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.probeRuns.Inc()
 	o.probeLat.Observe(simSeconds)
 }
@@ -323,8 +345,12 @@ func (o *Observer) observeProbe(simSeconds float64) {
 // observation points (a drained run's end, a quiescent daemon) the values
 // are as reproducible as the record stream. Per-machine series are
 // created here on first sight, so a machine-add shows up on the next
-// exposition.
+// exposition. The caller must hold the fleet's lock (or otherwise own the
+// fleet); the observer's own lock is taken here.
 func (o *Observer) syncGauges(f *Fleet) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.simTime = f.now
 	o.gSimTime.Set(f.now)
 	o.gMachines.Set(float64(len(f.machines)))
 	o.gMachinesUp.Set(float64(f.machinesUp()))
@@ -365,15 +391,28 @@ func (o *Observer) syncGauges(f *Fleet) {
 	}
 }
 
+// WriteMetrics renders the Prometheus text exposition from the observer's
+// last-synced state — counters, histograms and gauges as of the most
+// recent syncGauges. Safe to call concurrently with the fleet advancing;
+// it takes only the observer's lock.
+func (o *Observer) WriteMetrics(w io.Writer) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.reg.Write(w)
+}
+
 // WriteMetrics renders the Prometheus text exposition: record-driven
 // counters/histograms plus gauges synced from the fleet's current state.
-// Returns ErrNoObserver when the fleet has no telemetry attached.
+// Returns ErrNoObserver when the fleet has no telemetry attached. The
+// caller must own the fleet (this is the single-threaded surface; the
+// daemon splits the sync from the render so the exposition write happens
+// off the fleet's lock).
 func (f *Fleet) WriteMetrics(w io.Writer) error {
 	if f.obs == nil {
 		return ErrNoObserver
 	}
 	f.obs.syncGauges(f)
-	return f.obs.reg.Write(w)
+	return f.obs.WriteMetrics(w)
 }
 
 // Observer returns the attached telemetry observer (nil without one).
@@ -391,20 +430,41 @@ type TimelineSnapshot struct {
 
 // TimelineSnapshot renders the timeline re-bucketed to the requested
 // window (rounded to an integer multiple of the base window; <= base
-// keeps the base). Returns ErrNoObserver when the fleet has no telemetry.
-func (f *Fleet) TimelineSnapshot(window float64) (*TimelineSnapshot, error) {
-	if f.obs == nil {
-		return nil, ErrNoObserver
-	}
-	base := f.obs.tl.Width()
+// keeps the base), stamped with the fleet clock as of the last
+// SyncSimTime/syncGauges. Safe to call concurrently with the fleet
+// advancing; it takes only the observer's lock.
+func (o *Observer) TimelineSnapshot(window float64) *TimelineSnapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	base := o.tl.Width()
 	k := 1
 	if window > base {
 		k = int(math.Round(window / base))
 	}
 	return &TimelineSnapshot{
-		SimTime:    f.now,
+		SimTime:    o.simTime,
 		BaseWindow: base,
 		Window:     float64(k) * base,
-		Series:     f.obs.tl.Snapshot(k),
-	}, nil
+		Series:     o.tl.Snapshot(k),
+	}
+}
+
+// SyncSimTime refreshes the observer's copy of the fleet clock — the
+// cheap slice of syncGauges the timeline needs. The caller must hold the
+// fleet's lock (or otherwise own the fleet).
+func (o *Observer) SyncSimTime(f *Fleet) {
+	o.mu.Lock()
+	o.simTime = f.now
+	o.mu.Unlock()
+}
+
+// TimelineSnapshot renders the timeline re-bucketed to the requested
+// window. Returns ErrNoObserver when the fleet has no telemetry. The
+// caller must own the fleet.
+func (f *Fleet) TimelineSnapshot(window float64) (*TimelineSnapshot, error) {
+	if f.obs == nil {
+		return nil, ErrNoObserver
+	}
+	f.obs.SyncSimTime(f)
+	return f.obs.TimelineSnapshot(window), nil
 }

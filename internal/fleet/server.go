@@ -295,26 +295,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		req.Count = 1
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// The batch runs under the mutex; the response write happens after it
+	// is released, so a stalled client cannot wedge the fleet (mid-batch
+	// errors carry the already-admitted IDs and cache flags along).
+	status := http.StatusOK
 	resp := submitResponse{IDs: []int{}, CacheHits: []bool{}}
-	// fail reports a mid-batch error without dropping the jobs already
-	// admitted: their IDs and cache flags ride along with the error.
-	fail := func(status int, err error) {
-		resp.Error = err.Error()
-		resp.SimTime = s.fleet.Now()
-		writeJSON(w, status, resp)
-	}
+	s.mu.Lock()
 	for i := 0; i < req.Count; i++ {
 		job, err := s.fleet.Submit(spec, req.Workers, req.WorkScale, s.fleet.Now())
 		if err != nil {
 			// Backpressure is transient and retryable; invalid input is not.
-			status := http.StatusBadRequest
+			status = http.StatusBadRequest
 			if errors.Is(err, ErrQueueFull) {
 				status = http.StatusTooManyRequests
 			}
-			fail(status, err)
-			return
+			resp.Error = err.Error()
+			break
 		}
 		// The job is in the fleet from here on, so its ID rides in the
 		// response even if its own admission below fails.
@@ -325,12 +321,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		procErr := s.fleet.ProcessDue()
 		resp.CacheHits = append(resp.CacheHits, job.CacheHit)
 		if procErr != nil {
-			fail(http.StatusInternalServerError, procErr)
-			return
+			status = http.StatusInternalServerError
+			resp.Error = procErr.Error()
+			break
 		}
 	}
 	resp.SimTime = s.fleet.Now()
-	writeJSON(w, http.StatusOK, resp)
+	s.mu.Unlock()
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -340,28 +338,31 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	job := s.fleet.Job(id)
+	var view jobView
+	if job != nil {
+		view = viewOf(job)
+	}
+	s.mu.Unlock()
 	if job == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, viewOf(job))
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	views := make([]jobView, 0, len(s.fleet.Jobs()))
 	for _, j := range s.fleet.Jobs() {
 		views = append(views, viewOf(j))
 	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, views)
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	resp := struct {
 		*Stats
 		DriverError string `json:"driver_error,omitempty"`
@@ -369,19 +370,22 @@ func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	if s.driveErr != nil {
 		resp.DriverError = s.driveErr.Error()
 	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.fleet.ShardStats())
+	stats := s.fleet.ShardStats()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.fleet.Machines())
+	views := s.fleet.Machines()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
 }
 
 // lifecycleOp parses the machine parameter and runs op under the fleet
@@ -395,16 +399,19 @@ func (s *Server) lifecycleOp(w http.ResponseWriter, r *http.Request, op func(int
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, err := s.fleet.machineByID(id); err != nil {
+		s.mu.Unlock()
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	if err := op(id); err != nil {
+		s.mu.Unlock()
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.fleet.Machines()[id])
+	view := s.fleet.Machines()[id]
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
@@ -424,19 +431,22 @@ func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics renders the telemetry registry as Prometheus text
-// exposition format 0.0.4. Rendering happens into a buffer under the
-// mutex so a slow scraper cannot stall the fleet.
+// exposition format 0.0.4. Only the gauge sync — the one step that reads
+// fleet state — runs under the server mutex; the registry render and the
+// client write happen outside it (behind the observer's own lock), so a
+// slow scraper or a large exposition cannot stall the simulation driver.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	o := s.fleet.Observer()
+	if o == nil {
+		writeErr(w, http.StatusNotFound, ErrNoObserver)
+		return
+	}
 	s.mu.Lock()
-	var b bytes.Buffer
-	err := s.fleet.WriteMetrics(&b)
+	o.syncGauges(s.fleet)
 	s.mu.Unlock()
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrNoObserver) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, status, err)
+	var b bytes.Buffer
+	if err := o.WriteMetrics(&b); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -455,12 +465,15 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		}
 		window = v
 	}
-	s.mu.Lock()
-	snap, err := s.fleet.TimelineSnapshot(window)
-	s.mu.Unlock()
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	o := s.fleet.Observer()
+	if o == nil {
+		writeErr(w, http.StatusNotFound, ErrNoObserver)
 		return
 	}
-	writeJSON(w, http.StatusOK, snap)
+	// Only the clock capture needs the fleet; the series render runs off
+	// the server mutex, behind the observer's own lock.
+	s.mu.Lock()
+	o.SyncSimTime(s.fleet)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, o.TimelineSnapshot(window))
 }

@@ -18,6 +18,7 @@ import "sort"
 // quiescent state. The -race HTTP load test pins this.
 type shard struct {
 	id       int
+	v2       bool       // conservative-lookahead engine: advance free-runs
 	machines []*machine // ascending global id
 	events   eventHeap  // completions + retunes for these machines
 	now      float64
@@ -47,9 +48,14 @@ func (s *shard) tick(dt float64) {
 	s.collectComps()
 }
 
-// advance moves the shard k ticks forward: one barrier-bound step for
-// k == 1, the quiescent batch path otherwise.
+// advance moves the shard k ticks forward. Engine v1: one barrier-bound
+// step for k == 1, the quiescent batch path otherwise. Engine v2: the
+// free-running window body regardless of k.
 func (s *shard) advance(k int, dt float64) {
+	if s.v2 {
+		s.freeRun(k, dt)
+		return
+	}
 	if k == 1 {
 		s.tick(dt)
 		return
@@ -75,6 +81,38 @@ func (s *shard) replay(k int, dt float64) {
 	for _, m := range s.machines {
 		for ran := m.eng.ReplayTicks(k); ran < k; ran++ {
 			m.eng.Step()
+		}
+	}
+	for i := 0; i < k; i++ {
+		for _, m := range s.machines {
+			s.busyNodeSeconds += float64(len(m.free)-m.freeCount) * dt
+		}
+	}
+	s.collectComps()
+}
+
+// freeRun advances every machine k ticks with no synchronization at all —
+// the conservative-lookahead engine's window body. Unlike replay it does
+// not assume the window is quiescent: each machine greedily replays
+// memoized stretches and falls back to full solving Steps at every
+// boundary (phase or init crossing, staled solve), re-entering the replay
+// path as soon as a new fixed point is cached. The window sizer
+// (lookaheadWindow) guarantees no completion and no scheduled event falls
+// inside the window, so nothing a worker does here can interact across
+// shards; the completion scan at the end is the same defensive backstop
+// replay keeps. Busy-time charges repeat the per-tick additions in the
+// same (tick, machine) order as the per-tick loop — occupancy is constant
+// between barriers — so utilization accounting is independent of how a
+// span of ticks is cut into windows.
+func (s *shard) freeRun(k int, dt float64) {
+	for _, m := range s.machines {
+		for ran := 0; ran < k; {
+			if r := m.eng.ReplayTicks(k - ran); r > 0 {
+				ran += r
+				continue
+			}
+			m.eng.Step()
+			ran++
 		}
 	}
 	for i := 0; i < k; i++ {
@@ -137,7 +175,7 @@ func (f *Fleet) gatherComps() []*Job {
 // of looping one tick at a time.
 func (f *Fleet) advanceSerial(t float64) []*Job {
 	for f.now+f.eps() < t {
-		k := f.quiescentBatch(t)
+		k := f.batchTicks(t)
 		for _, s := range f.shards {
 			s.advance(k, f.dt)
 		}
@@ -217,7 +255,7 @@ func (f *Fleet) stopPool() {
 func (f *Fleet) advanceParallel(t float64) []*Job {
 	p := f.ensurePool()
 	for f.now+f.eps() < t {
-		k := f.quiescentBatch(t)
+		k := f.batchTicks(t)
 		for _, c := range p.wake {
 			c <- k
 		}

@@ -15,6 +15,10 @@ type Stats struct {
 	MachinesUp int `json:"machines_up"`
 	Shards     int `json:"shards"`
 	Workers    int `json:"workers"`
+	// EngineVersion is the advance engine in force (1 = per-tick barrier
+	// reference, 2 = conservative-lookahead windowed; see
+	// Config.EngineVersion).
+	EngineVersion int `json:"engine_version"`
 	// SimTime is the current simulated time.
 	SimTime float64 `json:"sim_time"`
 
@@ -99,18 +103,19 @@ type ShardStat struct {
 // Stats computes the current snapshot.
 func (f *Fleet) Stats() *Stats {
 	s := &Stats{
-		Policy:      f.cfg.Policy,
-		Routing:     f.router.Name(),
-		Admission:   f.admission.Name(),
-		Machines:    len(f.machines),
-		MachinesUp:  f.machinesUp(),
-		Shards:      len(f.shards),
-		Workers:     f.workers,
-		SimTime:     f.now,
-		Jobs:        len(f.jobs),
-		Evacuations: f.evacuations,
-		Retries:     f.retries,
-		LogRecords:  f.log.seq,
+		Policy:        f.cfg.Policy,
+		Routing:       f.router.Name(),
+		Admission:     f.admission.Name(),
+		Machines:      len(f.machines),
+		MachinesUp:    f.machinesUp(),
+		Shards:        len(f.shards),
+		Workers:       f.workers,
+		EngineVersion: f.cfg.EngineVersion,
+		SimTime:       f.now,
+		Jobs:          len(f.jobs),
+		Evacuations:   f.evacuations,
+		Retries:       f.retries,
+		LogRecords:    f.log.seq,
 	}
 	cs := f.cache.Stats()
 	s.CacheEvictions = cs.Evictions

@@ -48,24 +48,35 @@ func (h *Histogram) Bounds() []float64 { return h.bounds }
 func (h *Histogram) BucketCounts() []uint64 { return h.counts }
 
 // Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
-// within the bucket containing the rank, the standard Prometheus
-// histogram_quantile estimate. Values landing in the +Inf bucket report
-// the largest finite bound. Returns NaN when empty.
+// within the bucket containing the rank — the standard Prometheus
+// histogram_quantile estimate. The answer lives in the first non-empty
+// bucket whose cumulative count reaches rank = q·count; a rank landing
+// exactly on a bucket's cumulative boundary returns that bucket's upper
+// bound, regardless of any run of empty buckets that follows. Ranks
+// beyond the last finite bucket — the target observation sits in the
+// +Inf bucket — report the largest finite bound, since the histogram
+// cannot localize them further. Returns NaN when the histogram is empty
+// or q is NaN or outside (0, 1]: out-of-domain ranks would otherwise
+// extrapolate to values (negative, or past every observation) that no
+// sample could have produced.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.count == 0 {
+	if h.count == 0 || math.IsNaN(q) || q <= 0 || q > 1 {
 		return math.NaN()
 	}
 	rank := q * float64(h.count)
 	cum, lower := 0.0, 0.0
 	for i, b := range h.bounds {
 		c := float64(h.counts[i])
-		if cum+c >= rank && c > 0 {
+		if c > 0 && cum+c >= rank {
+			// cum < rank on entry (every earlier bucket fell short and
+			// empty buckets leave cum unchanged), so the interpolation
+			// factor is in (0, 1] and the estimate in (lower, b].
 			return lower + (b-lower)*((rank-cum)/c)
 		}
 		cum += c
 		lower = b
 	}
-	return lower
+	return lower // rank beyond every finite bucket: +Inf bucket
 }
 
 // ExpBuckets returns n exponentially spaced bounds: start, start*factor,

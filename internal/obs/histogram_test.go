@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bucketOf returns the index of the bucket holding v under Observe's
+// placement rule (v <= bounds[i] and > bounds[i-1]; len(bounds) = +Inf).
+func bucketOf(bounds []float64, v float64) int {
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	return i
+}
+
+// TestHistogramQuantileProperty checks Quantile against a sorted-sample
+// reference estimator over randomized bucket layouts and sample sets,
+// including exact-boundary ranks and runs of empty buckets. The histogram
+// cannot beat its bucket resolution, so the property is containment: the
+// estimate must fall inside the bucket that holds the rank-th sorted
+// sample (its +Inf bucket collapsing to the largest finite bound), must
+// be monotone in q, and must hit the bucket's upper bound exactly when
+// the rank lands on the bucket's cumulative-count boundary.
+func TestHistogramQuantileProperty(t *testing.T) {
+	layouts := [][]float64{
+		ExpBuckets(0.5, 2, 8),
+		LinearBuckets(0, 0.5, 12),
+		{1, 2, 3, 5, 8, 13}, // irregular, easy to leave holes in
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		bounds := layouts[trial%len(layouts)]
+		h := Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		n := 1 + rng.Intn(150)
+		samples := make([]float64, n)
+		// A small value alphabet concentrates samples, manufacturing
+		// empty-bucket runs; the alphabet mixes exact bounds (boundary
+		// ranks), interior points and +Inf-bucket values.
+		alphabet := []float64{
+			bounds[rng.Intn(len(bounds))],
+			bounds[0] * 0.5,
+			bounds[len(bounds)-1] * (1.5 + rng.Float64()),
+			bounds[rng.Intn(len(bounds))] * 0.99,
+		}
+		for i := range samples {
+			samples[i] = alphabet[rng.Intn(1+rng.Intn(len(alphabet)))]
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+
+		qs := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+		for k := 1; k <= n; k++ {
+			qs = append(qs, float64(k)/float64(n)) // exact cumulative ranks
+		}
+		sort.Float64s(qs)
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			got := h.Quantile(q)
+			if math.IsNaN(got) {
+				t.Fatalf("trial %d: Quantile(%v) = NaN on a populated histogram", trial, q)
+			}
+			if got < prev {
+				t.Fatalf("trial %d: Quantile not monotone: q=%v gave %v after %v", trial, q, got, prev)
+			}
+			prev = got
+
+			// The same float expression the implementation uses, so the
+			// reference picks the same order statistic on boundary ranks.
+			rank := q * float64(n)
+			idx := int(math.Ceil(rank)) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			ref := samples[idx]
+			bi := bucketOf(bounds, ref)
+			if bi == len(bounds) {
+				if want := bounds[len(bounds)-1]; got != want {
+					t.Fatalf("trial %d: q=%v rank in +Inf bucket: got %v, want largest finite bound %v",
+						trial, q, got, want)
+				}
+				continue
+			}
+			lower := 0.0
+			if bi > 0 {
+				lower = bounds[bi-1]
+			}
+			cumBefore := uint64(0)
+			for j := 0; j < bi; j++ {
+				cumBefore += h.counts[j]
+			}
+			// The first bucket's implicit lower bound is 0, but it also
+			// absorbs samples <= 0 (e.g. a 0 bound), so containment is
+			// inclusive there. And a rank a float-ULP above the preceding
+			// cumulative boundary (q built as k/n wobbles around the integer
+			// k) interpolates with a factor so small the estimate rounds back
+			// onto the bucket's lower edge — that near-boundary case is
+			// accepted; an estimate on the edge with the rank well inside the
+			// bucket is not.
+			nearBoundary := rank-float64(cumBefore) <= 1e-9
+			below := got < lower || (bi > 0 && got == lower && !nearBoundary)
+			if below || got > bounds[bi] {
+				t.Fatalf("trial %d: q=%v: estimate %v outside the rank sample's bucket (%v, %v] (sample %v)",
+					trial, q, got, lower, bounds[bi], ref)
+			}
+			// A rank exactly on this bucket's cumulative boundary pins the
+			// bucket's upper bound, empty-run or not.
+			cum := cumBefore + h.counts[bi]
+			if rank == float64(cum) && got != bounds[bi] {
+				t.Fatalf("trial %d: q=%v rank %v on cumulative boundary of bucket %d: got %v, want %v",
+					trial, q, rank, bi, got, bounds[bi])
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the documented domain contract.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := Histogram{bounds: []float64{1, 2, 3, 4}, counts: make([]uint64, 5)}
+	for _, v := range []float64{0.5, 0.7, 1, 3.5, 4} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, -0.1, 1.0000001, 42, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, want NaN for out-of-domain q", q, got)
+		}
+	}
+	// Exact boundary into an empty-bucket run: 3 of 5 samples are <= 1 and
+	// q = 0.6 puts the rank exactly on bucket 0's cumulative count, so the
+	// estimate is bucket 0's upper bound — not a point inside the empty
+	// (1,2] or (2,3] buckets, and not a value from the (3,4] bucket.
+	if got := h.Quantile(0.6); got != 1 {
+		t.Fatalf("boundary rank across empty run: got %v, want 1", got)
+	}
+	if got := h.Quantile(0.61); !(got > 3 && got <= 4) {
+		t.Fatalf("rank past the empty run must land in (3,4], got %v", got)
+	}
+
+	// All mass in +Inf: every quantile collapses to the largest finite
+	// bound, including q=1.
+	inf := Histogram{bounds: []float64{1, 2}, counts: make([]uint64, 3)}
+	inf.Observe(9)
+	inf.Observe(1e12)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := inf.Quantile(q); got != 2 {
+			t.Fatalf("+Inf-only Quantile(%v) = %v, want 2", q, got)
+		}
+	}
+
+	// Partial +Inf mass: ranks inside the finite buckets still resolve
+	// there; only ranks beyond them collapse.
+	mix := Histogram{bounds: []float64{1, 2}, counts: make([]uint64, 3)}
+	for _, v := range []float64{0.5, 1.5, 7, 8} {
+		mix.Observe(v)
+	}
+	if got := mix.Quantile(0.25); !(got > 0 && got <= 1) {
+		t.Fatalf("finite-rank quantile escaped its bucket: %v", got)
+	}
+	if got := mix.Quantile(0.9); got != 2 {
+		t.Fatalf("+Inf-rank quantile = %v, want 2", got)
+	}
+
+	var empty Histogram
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty Quantile = %v, want NaN", got)
+	}
+}

@@ -103,6 +103,16 @@ type Config struct {
 	// alive as the reference implementation (the BWAP_NO_FASTFORWARD=1
 	// environment knob forces it on for a whole test run).
 	DisableFastForward bool
+	// SnapLatFeedback freezes the latency-feedback smoothing once an
+	// update would move a multiplier by at most latSnapRel of its value:
+	// the controller has reached its floating-point fixed point for all
+	// practical purposes, and chasing the last few ULPs only keeps
+	// latEpoch churning, which blocks the replay path for dozens of ticks
+	// after every perturbation. This deliberately changes results at the
+	// last-ULP level relative to the default loop — a versioned
+	// bit-compat break, opted into by the fleet's engine v2 (DESIGN.md
+	// §12) and never enabled for the frozen v1 reference logs.
+	SnapLatFeedback bool
 }
 
 // FloatPtr returns a pointer to v, for the Config fields where nil means
@@ -198,6 +208,12 @@ type App struct {
 	solvePhase   float64
 	solveKappa   float64
 	nextPhaseGB  float64
+
+	// peakPhase upper-bounds every demand factor phaseFactors can ever
+	// return for this app (computed once at AddApp); the completion-horizon
+	// prediction multiplies raw demand by it to bound progress across phase
+	// and init-burst changes without inspecting the clock.
+	peakPhase float64
 }
 
 // SharedSegment returns the app's shared-data segment (nil if the workload
@@ -406,6 +422,7 @@ func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.Node
 		tickByWorker: make([]float64, len(workers)),
 		workGB:       spec.WorkGB,
 		start:        e.now,
+		peakPhase:    peakPhaseFactor(spec),
 	}
 	for i, w := range app.Workers {
 		app.workerIndex[w] = i
@@ -989,15 +1006,27 @@ func (e *Engine) feedback() {
 		u = stats.Clamp(u, 0, 1)
 		target := 1 + e.latQF*u*u/(1.02-u)
 		next := (1-sm)*e.latMult[i] + sm*target
-		if next != e.latMult[i] {
-			e.latMult[i] = next
-			changed = true
+		if next == e.latMult[i] {
+			continue
 		}
+		if e.Cfg.SnapLatFeedback && math.Abs(next-e.latMult[i]) <= latSnapRel*e.latMult[i] {
+			continue // sub-ULP drift: treat the fixed point as reached
+		}
+		e.latMult[i] = next
+		changed = true
 	}
 	if changed {
 		e.latEpoch++
 	}
 }
+
+// latSnapRel is the SnapLatFeedback freeze threshold: 2⁻⁴⁶ ≈ 64 ULPs for
+// multipliers in [1,2). Geometric smoothing halves the residual each tick,
+// so the snap cuts ~45 ticks of sub-ULP epoch churn per perturbation while
+// pinning the multiplier within 64 ULPs of the exact fixed point; any
+// material utilization shift moves the target far past the threshold and
+// the controller tracks it again immediately.
+const latSnapRel = 0x1p-46
 
 // ReplayTicks advances up to n ticks on the memoized replay path without
 // per-tick revalidation: no epoch checks, no latency feedback (provably a
@@ -1087,6 +1116,73 @@ func (e *Engine) QuiescentTicks(limit int) int {
 			}
 		}
 		n = min(n, comp)
+	}
+	return n
+}
+
+// peakPhaseFactor bounds phaseFactors' demand factor over the app's whole
+// lifetime: the implicit base phase (1), every declared phase, and the
+// init burst, whose pseudo-random pattern is InitDemandFactor·(0.3+1.4u)
+// with u < 1.
+func peakPhaseFactor(spec workload.Spec) float64 {
+	peak := 1.0
+	for _, ph := range spec.Phases {
+		peak = math.Max(peak, ph.DemandFactor)
+	}
+	if spec.InitSeconds > 0 {
+		peak = math.Max(peak, spec.InitDemandFactor*1.7)
+	}
+	return peak
+}
+
+// CompletionHorizonTicks returns a conservative count of upcoming ticks
+// (at most limit) that provably cannot complete any foreground app, no
+// matter what the flow solver does in between. Solved rates are
+// demand-bounded (max-min fairness never grants a flow more than it asks
+// for), migration cost and throttling only slow progress further, and
+// phaseFactors never exceeds the app's cached peakPhase — so per-worker
+// progress per tick is bounded by the worker's unthrottled peak demand,
+// and completion (every worker at its share) cannot fire before the
+// slowest worker's gap divided by that bound. Unlike QuiescentTicks this
+// needs no quiescence: solves, placement changes, phase and init
+// crossings may all happen inside the horizon; only completions cannot.
+// 0 means a completion may be imminent, or hooks could mutate apps
+// mid-window. The fleet's conservative-lookahead engine (DESIGN.md §12)
+// sizes its barrier-free windows with this bound.
+func (e *Engine) CompletionHorizonTicks(limit int) int {
+	if limit <= 0 || len(e.hooks) > 0 {
+		return 0
+	}
+	// Same batch cap as QuiescentTicks: within-window float accumulation
+	// must stay far below the boundaryTicks margin.
+	n := min(limit, 1<<20)
+	dt := e.Cfg.DT
+	for _, a := range e.apps {
+		if a.done || !a.placed || a.Background {
+			continue
+		}
+		eta := a.Spec.ParallelEfficiency(len(a.Workers))
+		perThread := (a.Spec.PerThreadReadGBs() + a.Spec.PerThreadWriteGBs()) *
+			e.Cfg.DemandFactor * a.peakPhase
+		share := a.workGB / float64(len(a.Workers))
+		// Completion needs every worker at its share, so the slowest
+		// worker's provably-free ticks bound the app's completion tick.
+		slowest := 0
+		for wi := range a.Workers {
+			gap := share - a.progressGB[wi]
+			if gap <= 0 {
+				continue
+			}
+			maxDelta := perThread * float64(a.Threads[wi]) * eta * dt
+			slowest = max(slowest, boundaryTicks(gap, maxDelta))
+			if slowest >= n {
+				break
+			}
+		}
+		n = min(n, slowest)
+		if n == 0 {
+			return 0
+		}
 	}
 	return n
 }

@@ -1,0 +1,81 @@
+// The multi-core scaling gate: a hard pass/fail wrapper around the
+// BenchmarkFleetThroughputSharded axis, run only by the CI multicore job
+// (GOMAXPROCS >= 4). Benchmarks report numbers; this test enforces one —
+// under the conservative-lookahead engine, 4 shards must beat 1 shard in
+// wall time on the identical warm-cache stream.
+package bwap_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bwap"
+)
+
+// TestShardScalingMultiCoreGate fails if the windowed engine does not
+// scale with shards. Guarded by BWAP_SCALING_TEST=1 so single-core
+// development machines and the reference CI job skip it: on one core the
+// shard counts tie modulo overhead and the comparison is meaningless.
+func TestShardScalingMultiCoreGate(t *testing.T) {
+	if os.Getenv("BWAP_SCALING_TEST") != "1" {
+		t.Skip("set BWAP_SCALING_TEST=1 (CI multicore job) to run the scaling gate")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("scaling gate needs >= 4 CPUs, have %d", n)
+	}
+
+	const jobs = 48
+	stream := []bwap.StreamSpec{{
+		Workload: bwap.Streamcluster(),
+		Arrival:  bwap.ArrivalSpec{Process: "poisson", Rate: 2.0, Count: jobs},
+		Workers:  2, WorkScale: 0.05,
+	}}
+	cache := bwap.NewTuningCache(bwap.Config{Seed: 1}, 0, 1)
+	run := func(shards int) time.Duration {
+		start := time.Now()
+		f, err := bwap.NewFleet(bwap.FleetConfig{
+			Machines:      8,
+			Shards:        shards,
+			Workers:       shards,
+			EngineVersion: 2,
+			SimCfg:        bwap.Config{Seed: 1},
+			Seed:          1,
+			Cache:         cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SubmitStream(stream); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Completed != jobs {
+			t.Fatalf("%d shards completed %d/%d jobs", shards, stats.Completed, jobs)
+		}
+		return time.Since(start)
+	}
+	run(1) // warm the shared tuning cache outside any measured run
+
+	// Best-of-5 per shard count: the gate compares the machines' capability,
+	// not a single run's scheduler luck.
+	best := func(shards int) time.Duration {
+		b := run(shards)
+		for i := 0; i < 4; i++ {
+			if d := run(shards); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	t1, t4 := best(1), best(4)
+	t.Logf("engine v2 wall time: 1 shard %v, 4 shards %v (%.2fx)", t1, t4, float64(t1)/float64(t4))
+	if t4 >= t1 {
+		t.Fatalf("4 shards (%v) not faster than 1 shard (%v) under engine v2 on a %d-CPU runner",
+			t4, t1, runtime.NumCPU())
+	}
+}
