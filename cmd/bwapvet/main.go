@@ -1,0 +1,159 @@
+// Command bwapvet runs the bwap determinism lint suite (DESIGN.md §13).
+//
+// It speaks the go vet driver protocol, so the usual invocation is:
+//
+//	go build -o /tmp/bwapvet ./cmd/bwapvet
+//	go vet -vettool=/tmp/bwapvet ./...
+//
+// and it also runs standalone over package patterns:
+//
+//	bwapvet ./...                # all analyzers
+//	bwapvet -walltime ./...      # just one
+//
+// Individual analyzers toggle with -walltime, -seededrand, -maporder,
+// -lockedio, -frozenorder: naming any analyzer runs only those named;
+// -name=false drops one from the full suite.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bwap/internal/lint/bwapvet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	suite := bwapvet.All()
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		enabled[a.Name] = flag.Bool(a.Name, false, "run "+a.Name+": "+a.Doc)
+	}
+	versionFlag := flag.String("V", "", "print version and exit (driver protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (driver protocol)")
+	flag.Parse()
+
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+	if *flagsFlag {
+		return printFlags(suite)
+	}
+
+	analyzers := selectAnalyzers(suite, enabled)
+	args := flag.Args()
+
+	// The go command invokes the tool once per package with a single
+	// JSON .cfg argument describing files and export data.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return bwapvet.RunUnit(args[0], analyzers)
+	}
+
+	// Standalone mode: load patterns (test variants included) ourselves.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := bwapvet.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := bwapvet.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// selectAnalyzers applies vet's flag semantics: naming any analyzer runs
+// exactly the named set; otherwise everything not set to false runs.
+func selectAnalyzers(suite []*bwapvet.Analyzer, enabled map[string]*bool) []*bwapvet.Analyzer {
+	anyExplicit := false
+	explicit := make(map[string]bool, len(enabled))
+	flag.Visit(func(f *flag.Flag) {
+		if _, ok := enabled[f.Name]; ok {
+			explicit[f.Name] = true
+			if *enabled[f.Name] {
+				anyExplicit = true
+			}
+		}
+	})
+	var out []*bwapvet.Analyzer
+	for _, a := range suite {
+		if anyExplicit {
+			if *enabled[a.Name] {
+				out = append(out, a)
+			}
+		} else if !explicit[a.Name] || *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printVersion implements the driver's -V=full handshake: the go command
+// keys its vet result cache on the reported buildID, so the line must
+// change whenever the binary does — a content hash of the executable.
+func printVersion(mode string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", exe)
+		return 0
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+	return 0
+}
+
+// printFlags implements the driver's -flags handshake: a JSON list of the
+// tool's flags so `go vet` can validate which ones it may forward.
+func printFlags(suite []*bwapvet.Analyzer) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(suite))
+	for _, a := range suite {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}

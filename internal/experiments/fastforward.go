@@ -97,7 +97,7 @@ func RunFastForward(quick bool) (*FastForwardTable, error) {
 		if err := f.SubmitStream(streams); err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := time.Now() //bwap:wallclock WallMS reports real speedup; it is presentation, not simulation state
 		stats, err := f.Run()
 		if err != nil {
 			return nil, fmt.Errorf("fastforward %s: %w", mode.name, err)
@@ -105,7 +105,7 @@ func RunFastForward(quick bool) (*FastForwardTable, error) {
 		table.Results = append(table.Results, FastForwardResult{
 			Mode:   mode.name,
 			Stats:  stats,
-			WallMS: float64(time.Since(start).Microseconds()) / 1000,
+			WallMS: float64(time.Since(start).Microseconds()) / 1000, //bwap:wallclock harness timing, excluded from log-identity checks
 		})
 		logs = append(logs, f.LogBytes())
 	}

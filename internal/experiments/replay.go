@@ -75,7 +75,7 @@ func RunReplay(quick bool) (*ReplayTable, error) {
 		if err := submit(f); err != nil {
 			return nil, ReplayResult{}, err
 		}
-		start := time.Now()
+		start := time.Now() //bwap:wallclock WallMS reports real speedup; it is presentation, not simulation state
 		stats, err := f.Run()
 		if err != nil {
 			return nil, ReplayResult{}, fmt.Errorf("replay phase %s: %w", phase, err)
@@ -84,7 +84,7 @@ func RunReplay(quick bool) (*ReplayTable, error) {
 			Phase:  phase,
 			Stats:  stats,
 			Cache:  cache.Stats(),
-			WallMS: float64(time.Since(start).Microseconds()) / 1000,
+			WallMS: float64(time.Since(start).Microseconds()) / 1000, //bwap:wallclock harness timing, excluded from log-identity checks
 		}, nil
 	}
 

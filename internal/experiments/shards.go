@@ -107,7 +107,7 @@ func RunShardScaling(quick bool) (*ShardScalingTable, error) {
 				if err := f.SubmitStream(streams); err != nil {
 					return nil, err
 				}
-				start := time.Now()
+				start := time.Now() //bwap:wallclock WallMS reports real speedup; it is presentation, not simulation state
 				stats, err := f.Run()
 				if err != nil {
 					return nil, fmt.Errorf("shards %s/v%d/%d: %w", admission, engine, shards, err)
@@ -116,7 +116,7 @@ func RunShardScaling(quick bool) (*ShardScalingTable, error) {
 					Admission: admission,
 					Engine:    engine,
 					Shards:    shards,
-					WallMS:    float64(time.Since(start).Microseconds()) / 1000,
+					WallMS:    float64(time.Since(start).Microseconds()) / 1000, //bwap:wallclock harness timing, excluded from log-identity checks
 					Stats:     stats,
 				})
 			}

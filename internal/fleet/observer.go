@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"math"
@@ -394,11 +395,18 @@ func (o *Observer) syncGauges(f *Fleet) {
 // WriteMetrics renders the Prometheus text exposition from the observer's
 // last-synced state — counters, histograms and gauges as of the most
 // recent syncGauges. Safe to call concurrently with the fleet advancing;
-// it takes only the observer's lock.
+// it takes only the observer's lock, and only for the in-memory render:
+// w may be a live socket, and a slow client must not hold up recording.
 func (o *Observer) WriteMetrics(w io.Writer) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.reg.Write(w)
+	var b bytes.Buffer
+	err := o.reg.Write(&b)
+	o.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, werr := w.Write(b.Bytes())
+	return werr
 }
 
 // WriteMetrics renders the Prometheus text exposition: record-driven

@@ -285,7 +285,7 @@ func TestServerConservationDuringChaos(t *testing.T) {
 	submitted := postSubmit(t, ts.URL, body)
 	want := float64(len(submitted.IDs))
 
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(30 * time.Second) //bwap:wallclock polling deadline for the real background driver
 	observations := 0
 	for {
 		resp, err := http.Get(ts.URL + "/metrics")
@@ -315,10 +315,10 @@ func TestServerConservationDuringChaos(t *testing.T) {
 		if byState["done"]+byState["failed"] == total {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //bwap:wallclock polling deadline for the real background driver
 			t.Fatalf("fleet did not drain: %v", byState)
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) //bwap:wallclock poll interval against the real driver goroutine
 	}
 	if observations < 2 {
 		t.Logf("only %d observations before drain (fast run)", observations)

@@ -122,14 +122,21 @@ func (s *Server) drive(stop <-chan struct{}, done chan<- struct{}) {
 			// Freeze virtual time while idle: an empty daemon stays at a
 			// reproducible clock instead of burning ticks.
 			busy := s.fleet.running > 0 || s.fleet.pendingEvents() > 0
+			var failed error
 			if busy {
 				if err := s.fleet.Advance(s.SimRate * s.Tick.Seconds()); err != nil && s.driveErr == nil {
 					s.driveErr = err
-					s.logger().Warn("background driver failed; clock frozen",
-						"err", err, "sim_time", s.fleet.Now())
+					failed = err
 				}
 			}
+			now := s.fleet.Now()
 			s.mu.Unlock()
+			// Log off the lock: slog writes to stderr, and every request
+			// handler contends on s.mu.
+			if failed != nil {
+				s.logger().Warn("background driver failed; clock frozen",
+					"err", failed, "sim_time", now)
+			}
 		}
 	}
 }

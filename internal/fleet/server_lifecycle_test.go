@@ -137,7 +137,7 @@ func TestServerLifecycleChurnUnderLoad(t *testing.T) {
 			}
 			// 409s are expected: the loop races itself and the scheduler.
 			if code, _ := lifecyclePost(t, ts.URL+"/drain?machine=1"); code == http.StatusOK {
-				time.Sleep(time.Millisecond)
+				time.Sleep(time.Millisecond) //bwap:wallclock poll interval against the real driver goroutine
 				lifecyclePost(t, ts.URL+"/recover?machine=1")
 			}
 		}
@@ -174,17 +174,17 @@ func TestServerLifecycleChurnUnderLoad(t *testing.T) {
 	}
 	submitters.Wait()
 
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(30 * time.Second) //bwap:wallclock polling deadline for the real background driver
 	var stats Stats
 	for {
 		getJSON(t, ts.URL+"/fleet", &stats)
 		if stats.Completed == jobs {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //bwap:wallclock polling deadline for the real background driver
 			t.Fatalf("stream did not drain under churn: %+v", stats)
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //bwap:wallclock poll interval against the real driver goroutine
 	}
 	close(stop)
 	churn.Wait()

@@ -67,7 +67,7 @@ func TestServerScrapeDuringChaosEngineV2(t *testing.T) {
 			}
 		}(path)
 	}
-	time.Sleep(200 * time.Millisecond)
+	time.Sleep(200 * time.Millisecond) //bwap:wallclock let racing handlers overlap the real driver for a while
 	close(stop)
 	wg.Wait()
 	s.Stop()

@@ -97,17 +97,17 @@ func TestServerConcurrentSubmissions(t *testing.T) {
 
 	// All jobs take the whole 4-node machine, so they run serially and
 	// every admission sees co-runner count 0: one cache key, one probe.
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(30 * time.Second) //bwap:wallclock polling deadline for the real background driver
 	var stats Stats
 	for {
 		getJSON(t, ts.URL+"/fleet", &stats)
 		if stats.Completed == n {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //bwap:wallclock polling deadline for the real background driver
 			t.Fatalf("stream did not drain: %+v", stats)
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //bwap:wallclock poll interval against the real driver goroutine
 	}
 	if stats.CacheMisses != 1 {
 		t.Fatalf("CacheMisses = %d, want 1 (repeat jobs must not re-profile)", stats.CacheMisses)
@@ -199,17 +199,17 @@ func TestServerShardedConcurrentLoad(t *testing.T) {
 	}
 	submitters.Wait()
 
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(30 * time.Second) //bwap:wallclock polling deadline for the real background driver
 	var stats Stats
 	for {
 		getJSON(t, ts.URL+"/fleet", &stats)
 		if stats.Completed == jobs {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //bwap:wallclock polling deadline for the real background driver
 			t.Fatalf("stream did not drain under load: %+v", stats)
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //bwap:wallclock poll interval against the real driver goroutine
 	}
 	close(stop)
 	pollers.Wait()
@@ -257,16 +257,16 @@ func TestServerEndpoints(t *testing.T) {
 	}
 
 	// Wait for completion, then the log must decode and contain the job.
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(30 * time.Second) //bwap:wallclock polling deadline for the real background driver
 	for {
 		getJSON(t, ts.URL+"/status?id=1", &v)
 		if v.State == "done" {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //bwap:wallclock polling deadline for the real background driver
 			t.Fatal("job never finished")
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //bwap:wallclock poll interval against the real driver goroutine
 	}
 	resp, err := http.Get(ts.URL + "/log")
 	if err != nil {
@@ -443,26 +443,26 @@ func TestServerStartStopRace(t *testing.T) {
 // several times faster; the generous ratio keeps slow-CI noise out.
 func TestServerSubmitLatencyDrop(t *testing.T) {
 	_, ts := newTestServer(t)
-	start := time.Now()
+	start := time.Now() //bwap:wallclock measures real handler latency to prove the cache hit is cheap
 	first := postSubmit(t, ts.URL, jobBody)
-	missLatency := time.Since(start)
+	missLatency := time.Since(start) //bwap:wallclock measures real handler latency to prove the cache hit is cheap
 	// Let the first job drain so the repeat admission happens synchronously
 	// inside the second POST instead of queueing behind a busy machine.
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(30 * time.Second) //bwap:wallclock polling deadline for the real background driver
 	for {
 		var v jobView
 		getJSON(t, ts.URL+"/status?id=1", &v)
 		if v.State == "done" {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //bwap:wallclock polling deadline for the real background driver
 			t.Fatal("first job never finished")
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //bwap:wallclock poll interval against the real driver goroutine
 	}
-	start = time.Now()
+	start = time.Now() //bwap:wallclock measures real handler latency to prove the cache hit is cheap
 	second := postSubmit(t, ts.URL, jobBody)
-	hitLatency := time.Since(start)
+	hitLatency := time.Since(start) //bwap:wallclock measures real handler latency to prove the cache hit is cheap
 	if first.CacheHits[0] || !second.CacheHits[0] {
 		t.Fatalf("cache flags: first=%v second=%v", first.CacheHits[0], second.CacheHits[0])
 	}

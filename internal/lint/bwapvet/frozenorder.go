@@ -1,0 +1,118 @@
+package bwapvet
+
+import (
+	_ "embed"
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FrozenOrder verifies that replay-critical constants still carry their
+// frozen values. The event-kind iota block orders same-timestamp events;
+// the JSONL log schema version names the record shape replay tooling
+// parses; the tuning-cache and snapshot envelope versions gate artifact
+// reuse. Any of these can drift by accident — an event kind inserted
+// mid-block renumbers everything after it and changes every log byte — so
+// the frozen values live in frozen.golden and this analyzer diffs the
+// typechecked constants against it. A deliberate change updates the golden
+// in the same commit.
+var FrozenOrder = NewFrozenOrder(frozenGolden)
+
+//go:embed frozen.golden
+var frozenGolden string
+
+// NewFrozenOrder builds a frozenorder analyzer against an arbitrary golden
+// table; tests use it to prove that a constant bump is caught.
+func NewFrozenOrder(golden string) *Analyzer {
+	return &Analyzer{
+		Name: "frozenorder",
+		Doc: "verify pinned event-kind order and schema/envelope version constants " +
+			"against frozen.golden",
+		Run: func(p *Pass) error { return runFrozenOrder(p, golden) },
+	}
+}
+
+// parseFrozenGolden parses "pkg.Const = value" lines into
+// pkgPath → constName → ExactString value.
+func parseFrozenGolden(golden string) (map[string]map[string]string, error) {
+	table := make(map[string]map[string]string)
+	for i, line := range strings.Split(golden, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lhs, val, ok := strings.Cut(line, " = ")
+		if !ok {
+			return nil, fmt.Errorf("frozen.golden line %d: want \"pkg.Const = value\", got %q", i+1, line)
+		}
+		dot := strings.LastIndex(lhs, ".")
+		if dot < 0 {
+			return nil, fmt.Errorf("frozen.golden line %d: no package path in %q", i+1, lhs)
+		}
+		pkg, name := lhs[:dot], lhs[dot+1:]
+		if table[pkg] == nil {
+			table[pkg] = make(map[string]string)
+		}
+		table[pkg][name] = val
+	}
+	return table, nil
+}
+
+func runFrozenOrder(p *Pass, golden string) error {
+	table, err := parseFrozenGolden(golden)
+	if err != nil {
+		return err
+	}
+	// Only the package that declares the constants is checked. The
+	// in-package test variant ("p [p.test]") re-typechecks the same
+	// declarations and is checked too — harmless duplication at worst —
+	// but an external "p_test" package does not declare them and must not
+	// produce phantom "removed" findings, so no _test suffix stripping.
+	path := p.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	want := table[path]
+	if len(want) == 0 || strings.HasSuffix(p.Pkg.Name(), "_test") {
+		return nil
+	}
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		wantVal := want[name]
+		obj := p.Pkg.Scope().Lookup(name)
+		if obj == nil {
+			p.Reportf(p.pkgPos(),
+				"frozen constant %s.%s is gone (removed or renamed); it is pinned in frozen.golden because replay artifacts depend on it",
+				path, name)
+			continue
+		}
+		c, ok := obj.(*types.Const)
+		if !ok {
+			p.Reportf(obj.Pos(),
+				"frozen name %s.%s is no longer a constant; frozen.golden pins it as %s",
+				path, name, wantVal)
+			continue
+		}
+		if exact := c.Val().ExactString(); exact != wantVal {
+			p.Reportf(obj.Pos(),
+				"frozen constant %s.%s = %s, want %s per frozen.golden; this value is part of the replay contract — a deliberate change must update frozen.golden in the same commit and state the migration story",
+				path, name, exact, wantVal)
+		}
+	}
+	return nil
+}
+
+// pkgPos is a stable anchor for package-scoped findings: the package clause
+// of the first file.
+func (p *Pass) pkgPos() token.Pos {
+	if len(p.Files) > 0 {
+		return p.Files[0].Package
+	}
+	return token.NoPos
+}

@@ -1,0 +1,161 @@
+package bwapvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one typechecked package ready for analysis.
+type Package struct {
+	// Path is the package path as the build system names it; in-package
+	// test variants look like "bwap/internal/fleet [bwap.test]".
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	ImportMap  map[string]string
+	ForTest    string
+	Standard   bool
+	DepOnly    bool
+}
+
+// LoadPackages loads, parses, and typechecks the module packages matching
+// patterns (relative to dir), including their in-package and external test
+// variants. It shells out to `go list -export -deps -test` so every
+// dependency — stdlib included — resolves through compiler export data;
+// no network, no module downloads, no golang.org/x/tools.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errBuf.String())
+	}
+
+	// Export data for every package in the closure, keyed by the exact
+	// (possibly bracketed) import path go list reported.
+	exportFile := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exportFile[lp.ImportPath] = lp.Export
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		// Skip the synthesized test-main package.
+		if lp.Name == "main" && strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		pkg, err := typecheckListed(lp, exportFile)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheckListed parses one listed package's files and typechecks them
+// against the export data of its dependencies.
+func typecheckListed(lp *listPackage, exportFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// The gc importer hands us the import path as written; resolve it to
+	// the build-system path (test variants via ImportMap, identity
+	// otherwise) and feed back that package's export data. A fresh
+	// importer per target keeps the bracketed and plain variants of the
+	// same path from colliding in the importer's cache.
+	lookup := func(path string) (io.ReadCloser, error) {
+		resolved := path
+		if m, ok := lp.ImportMap[path]; ok {
+			resolved = m
+		} else if lp.ForTest != "" {
+			if _, ok := exportFile[path+" ["+lp.ForTest+".test]"]; ok {
+				resolved = path + " [" + lp.ForTest + ".test]"
+			}
+		}
+		file, ok := exportFile[resolved]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (resolved %q)", path, resolved)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{Path: lp.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// newTypesInfo allocates the types.Info maps the analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,446 @@
+package bwapvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockedIO flags calls that perform I/O — file and network operations,
+// writes to escape-prone writers, logging — or invoke stored callbacks
+// while a sync.Mutex or sync.RWMutex is provably held. This is the PR 8
+// server-exposition bug class: rendering /metrics to a slow client under
+// the fleet mutex stalls the simulation driver; logging under a lock
+// serializes every contender behind stderr. The analysis is a forward walk
+// over each function body tracking Lock/Unlock pairs (including deferred
+// unlocks, which hold to function end), so "provably held" means held on
+// every straight-line path the walker can see — cross-function lock flow
+// is out of scope by design.
+//
+// Rendering into an in-memory buffer (*bytes.Buffer, *strings.Builder)
+// under a lock is the approved snapshot-then-write idiom and is not
+// flagged; what is flagged is letting an interface-typed writer — which
+// may be a socket — absorb writes before the unlock.
+var LockedIO = &Analyzer{
+	Name: "lockedio",
+	Doc: "flag I/O, exposition writes, logging, and stored-callback invocation " +
+		"while a sync.Mutex/RWMutex is held",
+	Run: runLockedIO,
+}
+
+// lockedIOFuncs maps package path → function name → index of the writer
+// argument whose static type decides the verdict (-1: always I/O).
+var lockedIOFuncs = map[string]map[string]int{
+	"fmt": {"Fprint": 0, "Fprintf": 0, "Fprintln": 0},
+	"io":  {"WriteString": 0, "Copy": 0, "CopyN": 0, "CopyBuffer": 0},
+	"net/http": {
+		"Error": 0, "Redirect": 0, "ServeContent": 0, "ServeFile": 0, "SetCookie": 0,
+	},
+	"os": {
+		"Create": -1, "Open": -1, "OpenFile": -1, "ReadFile": -1, "WriteFile": -1,
+		"Remove": -1, "RemoveAll": -1, "Rename": -1, "Mkdir": -1, "MkdirAll": -1,
+		"ReadDir": -1, "Stat": -1, "Lstat": -1, "Chmod": -1, "Chtimes": -1,
+		"Truncate": -1, "Link": -1, "Symlink": -1,
+	},
+	"net": {"Dial": -1, "DialTimeout": -1, "Listen": -1, "ListenPacket": -1},
+	"log": {
+		"Print": -1, "Printf": -1, "Println": -1, "Fatal": -1, "Fatalf": -1,
+		"Fatalln": -1, "Panic": -1, "Panicf": -1, "Panicln": -1, "Output": -1,
+	},
+	"log/slog": {
+		"Debug": -1, "DebugContext": -1, "Info": -1, "InfoContext": -1,
+		"Warn": -1, "WarnContext": -1, "Error": -1, "ErrorContext": -1,
+		"Log": -1, "LogAttrs": -1,
+	},
+}
+
+// lockedIOMethods maps receiver type (types.Type string) → method names
+// that perform I/O on it.
+var lockedIOMethods = map[string]map[string]bool{
+	"*log/slog.Logger": {
+		"Debug": true, "DebugContext": true, "Info": true, "InfoContext": true,
+		"Warn": true, "WarnContext": true, "Error": true, "ErrorContext": true,
+		"Log": true, "LogAttrs": true,
+	},
+	"*log.Logger": {
+		"Print": true, "Printf": true, "Println": true, "Fatal": true,
+		"Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true,
+		"Panicln": true, "Output": true,
+	},
+	"*encoding/json.Encoder": {"Encode": true},
+	"*os.File": {
+		"Write": true, "WriteString": true, "WriteAt": true, "Read": true,
+		"ReadAt": true, "Sync": true, "Close": true, "Truncate": true,
+	},
+	"*bufio.Writer": {
+		"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+		"Flush": true, "ReadFrom": true,
+	},
+}
+
+// writerIfaceMethods are methods that move bytes when invoked on an
+// interface-typed receiver with a Write method (io.Writer,
+// http.ResponseWriter, net.Conn, ...).
+var writerIfaceMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteHeader": true,
+	"Flush": true, "Sync": true, "ReadFrom": true, "Close": true,
+}
+
+func runLockedIO(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f.Package) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				st := &lockState{held: map[string]bool{}}
+				p.walkLocked(body.List, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockState is the set of mutexes provably held at a program point, keyed
+// by the printed receiver expression ("s.mu").
+type lockState struct {
+	held map[string]bool
+}
+
+func (st *lockState) clone() *lockState {
+	c := &lockState{held: make(map[string]bool, len(st.held))}
+	for k := range st.held {
+		c.held[k] = true
+	}
+	return c
+}
+
+func (st *lockState) absorb(other *lockState) {
+	for k := range other.held {
+		st.held[k] = true
+	}
+}
+
+// walkLocked advances the lock state across stmts in order, checking every
+// call reached while a lock is held.
+func (p *Pass) walkLocked(stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		p.walkStmt(s, st)
+	}
+}
+
+func (p *Pass) walkStmt(s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockTransition(p, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				st.held[key] = true
+			case "Unlock", "RUnlock":
+				delete(st.held, key)
+			}
+			return
+		}
+		p.checkCalls(s.X, st)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held through the rest of the
+		// function; other deferred calls run at return time, outside the
+		// region this walker reasons about.
+		if _, op, ok := lockTransition(p, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+	case *ast.BlockStmt:
+		p.walkLocked(s.List, st)
+	case *ast.LabeledStmt:
+		p.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		p.checkCalls(s.Init, st)
+		p.checkCalls(s.Cond, st)
+		thenSt := st.clone()
+		p.walkLocked(s.Body.List, thenSt)
+		elseSt := st.clone()
+		if s.Else != nil {
+			p.walkStmt(s.Else, elseSt)
+		}
+		merged := &lockState{held: map[string]bool{}}
+		if !terminates(s.Body.List) {
+			merged.absorb(thenSt)
+		}
+		if s.Else == nil || !stmtTerminates(s.Else) {
+			merged.absorb(elseSt)
+		}
+		st.held = merged.held
+	case *ast.ForStmt:
+		p.checkCalls(s.Init, st)
+		p.checkCalls(s.Cond, st)
+		bodySt := st.clone()
+		p.walkLocked(s.Body.List, bodySt)
+		st.absorb(bodySt)
+	case *ast.RangeStmt:
+		p.checkCalls(s.X, st)
+		bodySt := st.clone()
+		p.walkLocked(s.Body.List, bodySt)
+		st.absorb(bodySt)
+	case *ast.SwitchStmt:
+		p.checkCalls(s.Init, st)
+		p.checkCalls(s.Tag, st)
+		p.walkClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		p.checkCalls(s.Assign, st)
+		p.walkClauses(s.Body, st)
+	case *ast.SelectStmt:
+		p.walkClauses(s.Body, st)
+	default:
+		p.checkCalls(s, st)
+	}
+}
+
+// walkClauses runs every case clause from a clone of the incoming state
+// and merges the fall-through ends conservatively.
+func (p *Pass) walkClauses(body *ast.BlockStmt, st *lockState) {
+	merged := &lockState{held: map[string]bool{}}
+	any := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		clSt := st.clone()
+		p.walkLocked(stmts, clSt)
+		if !terminates(stmts) {
+			merged.absorb(clSt)
+			any = true
+		}
+	}
+	if any {
+		st.held = merged.held
+	}
+}
+
+// terminates reports whether a statement list definitely does not fall
+// through (ends in return, panic, or a branch out).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+// lockTransition matches x.Lock()/RLock()/Unlock()/RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the receiver key and operation.
+func lockTransition(p *Pass, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", "", false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil || !isSyncLockType(t) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+func isSyncLockType(t types.Type) bool {
+	s := t.String()
+	s = strings.TrimPrefix(s, "*")
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// checkCalls walks an expression or statement subtree (not descending into
+// function literals or go/defer statements) and reports every I/O-or-
+// callback call when a lock is held.
+func (p *Pass) checkCalls(n ast.Node, st *lockState) {
+	if n == nil || len(st.held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			p.checkOneCall(m, st)
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkOneCall(call *ast.CallExpr, st *lockState) {
+	heldKey := anyKey(st.held)
+	if p.Escaped(call.Pos(), "lockedio") {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if isPkgQualified(p, fun) {
+				if argIdx, ok := lockedIOFuncs[fn.Pkg().Path()][fn.Name()]; ok {
+					if argIdx < 0 || !isInMemoryWriterArg(p, call, argIdx) {
+						p.Reportf(call.Pos(),
+							"%s.%s performs I/O while %s is held; move it after the unlock, or annotate //bwap:lockedio <reason>",
+							fn.Pkg().Name(), fn.Name(), heldKey)
+					}
+				}
+				return
+			}
+			// Method call: receiver-type sinks, then writer-shaped interfaces.
+			recv := p.Info.TypeOf(fun.X)
+			if recv == nil {
+				return
+			}
+			if lockedIOMethods[recv.String()][fn.Name()] {
+				p.Reportf(call.Pos(),
+					"(%s).%s performs I/O while %s is held; move it after the unlock, or annotate //bwap:lockedio <reason>",
+					recv.String(), fn.Name(), heldKey)
+				return
+			}
+			if writerIfaceMethods[fn.Name()] && isWriterInterface(recv) {
+				p.Reportf(call.Pos(),
+					"%s.%s writes through an interface that may be a live socket or file while %s is held; snapshot into a buffer and write after the unlock, or annotate //bwap:lockedio <reason>",
+					types.ExprString(fun.X), fn.Name(), heldKey)
+				return
+			}
+			// A call that hands an interface-typed writer into another
+			// function smuggles the I/O one frame down.
+			if interfaceWriterArg(p, call) && fn.Pkg().Path() != "sync" {
+				p.Reportf(call.Pos(),
+					"call passes an interface-typed writer while %s is held; the callee may write to a live socket — snapshot-then-write instead, or annotate //bwap:lockedio <reason>",
+					heldKey)
+				return
+			}
+			// Stored callback: a func-typed struct field invoked under lock.
+			if selection, ok := p.Info.Selections[fun]; ok && selection.Kind() == types.FieldVal {
+				if _, isSig := selection.Type().Underlying().(*types.Signature); isSig {
+					p.Reportf(call.Pos(),
+						"callback field %s invoked while %s is held can re-enter or block arbitrarily; call it after the unlock, or annotate //bwap:lockedio <reason>",
+						types.ExprString(fun), heldKey)
+				}
+			}
+			return
+		}
+		// Selection did not resolve to a *types.Func: a func-typed field.
+		if selection, ok := p.Info.Selections[fun]; ok && selection.Kind() == types.FieldVal {
+			if _, isSig := selection.Type().Underlying().(*types.Signature); isSig && !p.Escaped(call.Pos(), "lockedio") {
+				p.Reportf(call.Pos(),
+					"callback field %s invoked while %s is held can re-enter or block arbitrarily; call it after the unlock, or annotate //bwap:lockedio <reason>",
+					types.ExprString(fun), heldKey)
+			}
+		}
+	case *ast.Ident:
+		// Package-level func variables are mutable seams — treat them like
+		// stored callbacks. Locals and parameters are internal plumbing
+		// (e.g. an op passed by the one caller that owns the lock) and are
+		// deliberately not flagged.
+		if v, ok := p.Info.Uses[fun].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				p.Reportf(call.Pos(),
+					"package-level func variable %s invoked while %s is held can be rebound to anything; call it after the unlock, or annotate //bwap:lockedio <reason>",
+					fun.Name, heldKey)
+			}
+		}
+	}
+}
+
+// anyKey returns one held-lock key for the message (sorted for stability).
+func anyKey(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// isInMemoryWriterArg reports whether argument idx has a concrete
+// in-memory type that cannot reach a socket or file.
+func isInMemoryWriterArg(p *Pass, call *ast.CallExpr, idx int) bool {
+	if idx >= len(call.Args) {
+		return false
+	}
+	return isInMemoryWriter(p.Info.TypeOf(call.Args[idx]))
+}
+
+func isInMemoryWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := strings.TrimPrefix(t.String(), "*")
+	return s == "bytes.Buffer" || s == "strings.Builder"
+}
+
+// interfaceWriterArg reports whether any argument's static type is a
+// writer-shaped interface (has a Write method) and not an in-memory type.
+func interfaceWriterArg(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isWriterInterface(p.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWriterInterface reports whether t is an interface type whose method
+// set includes Write([]byte) (int, error) — io.Writer, http.ResponseWriter,
+// net.Conn and friends.
+func isWriterInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if m.Name() != "Write" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			continue
+		}
+		if s, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+			if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}

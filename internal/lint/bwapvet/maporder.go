@@ -1,0 +1,236 @@
+package bwapvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose loop body feeds ordered or
+// deterministic state. Go randomizes map iteration order per run, so a
+// body that appends to an outer slice, sends on a channel, or calls a
+// record/metric sink produces output whose order varies run to run — the
+// exact bug class that breaks bit-identical logs. A loop whose collected
+// slice is sorted immediately afterwards (any sort./slices. call over it
+// in the same block) is recognized and allowed; anything else needs the
+// loop rewritten over sorted keys or a //bwap:maporder annotation.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose body appends to outer slices, sends on channels, " +
+		"or writes records/metrics without an intervening sort",
+	Run: runMapOrder,
+}
+
+// mapOrderSinkMethods are method names whose call inside a map-range body
+// counts as feeding ordered/deterministic state: log record appends,
+// metric observations, and writer/encoder calls. Float accumulation makes
+// even "commutative" sinks (histogram sums) order-sensitive.
+var mapOrderSinkMethods = map[string]bool{
+	"append":      true, // the fleet eventLog's record sink
+	"Observe":     true,
+	"Write":       true,
+	"WriteString": true,
+	"Encode":      true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+}
+
+func runMapOrder(p *Pass) error {
+	if !isDeterministic(p.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f.Package) {
+			continue
+		}
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.Escaped(rs.Pos(), "maporder") {
+				return true
+			}
+			p.checkMapRangeBody(rs, parents)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody scans one map-range body for order-sensitive sinks.
+func (p *Pass) checkMapRangeBody(rs *ast.RangeStmt, parents map[ast.Node]ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure body does not run during iteration
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(),
+				"channel send inside map iteration publishes values in randomized order; iterate over sorted keys or annotate //bwap:maporder <reason>")
+		case *ast.AssignStmt:
+			p.checkMapRangeAppend(rs, n, parents)
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || isPkgQualified(p, sel) {
+				// Package funcs (fmt.Fprintf...) are caught here too.
+				if ok && mapOrderSinkMethods[sel.Sel.Name] {
+					p.Reportf(n.Pos(),
+						"%s called inside map iteration emits in randomized order; iterate over sorted keys or annotate //bwap:maporder <reason>",
+						sel.Sel.Name)
+				}
+				return true
+			}
+			if mapOrderSinkMethods[sel.Sel.Name] {
+				p.Reportf(n.Pos(),
+					"%s.%s called inside map iteration feeds ordered state in randomized order; iterate over sorted keys or annotate //bwap:maporder <reason>",
+					types.ExprString(sel.X), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAppend flags `dst = append(dst, ...)` inside a map-range
+// body when dst is declared outside the loop and is not sorted in the
+// statements that follow the loop in its enclosing block.
+func (p *Pass) checkMapRangeAppend(rs *ast.RangeStmt, as *ast.AssignStmt, parents map[ast.Node]ast.Node) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := assignTarget(p, as.Lhs[i])
+		if obj == nil {
+			continue
+		}
+		// Appends to loop-local accumulators cannot leak iteration order
+		// past the loop without a second, itself-flagged escape.
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			continue
+		}
+		if sortedAfter(p, rs, obj, parents) {
+			continue
+		}
+		p.Reportf(as.Pos(),
+			"append to %s inside map iteration captures randomized order; sort %s afterwards, iterate over sorted keys, or annotate //bwap:maporder <reason>",
+			obj.Name(), obj.Name())
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// assignTarget resolves the assigned object behind an identifier or a
+// field selector LHS (x or s.f); anything else returns nil.
+func assignTarget(p *Pass, lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[lhs]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[lhs]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+// sortedAfter reports whether some statement after rs in its enclosing
+// block passes obj to a sort./slices. sorting function — the "collect then
+// sort" idiom that launders map order back into a total one.
+func sortedAfter(p *Pass, rs *ast.RangeStmt, obj types.Object, parents map[ast.Node]ast.Node) bool {
+	block, ok := parents[rs].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	idx := -1
+	for i, st := range block.List {
+		if st == ast.Stmt(rs) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, st := range block.List[idx+1:] {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if pp := fn.Pkg().Path(); pp != "sort" && pp != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if argUses(p, arg, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// argUses reports whether expr mentions obj.
+func argUses(p *Pass, expr ast.Expr, obj types.Object) bool {
+	uses := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			uses = true
+			return false
+		}
+		return !uses
+	})
+	return uses
+}
+
+// buildParents maps every node in f to its parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

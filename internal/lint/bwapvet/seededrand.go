@@ -1,0 +1,78 @@
+package bwapvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// SeededRand forbids unseeded or unspecified randomness in deterministic
+// packages (non-test files):
+//
+//   - importing math/rand at all: its stream is unspecified across Go
+//     versions, so a replayed log could differ under a toolchain bump;
+//   - referencing any package-level function of math/rand/v2 — the global
+//     functions (rand.IntN, rand.Float64, ...) draw from a runtime-seeded
+//     source, and the constructors (rand.New, rand.NewPCG, rand.NewChaCha8)
+//     mint ad-hoc streams that bypass the experiment seed plumbing.
+//
+// Deterministic code takes a seeded stream from stats.NewRand or
+// workload.NewRand (splitmix64-derived), or a *rand.Rand handed in by its
+// caller; methods on such a value are fine. The sanctioned constructors
+// themselves carry //bwap:rand annotations.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid math/rand and ad-hoc math/rand/v2 sources in deterministic packages; " +
+		"construct streams via stats.NewRand / workload.NewRand",
+	Run: runSeededRand,
+}
+
+func runSeededRand(p *Pass) error {
+	if !isDeterministic(p.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f.Package) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "math/rand" {
+				continue
+			}
+			if p.Escaped(imp.Pos(), "rand") {
+				continue
+			}
+			p.Reportf(imp.Pos(),
+				"math/rand has an unspecified stream; deterministic package %s must use math/rand/v2 via stats.NewRand or workload.NewRand",
+				basePkgPath(p.Pkg.Path()))
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath := fn.Pkg().Path()
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			// Only package-qualified references: methods on a *rand.Rand
+			// value that was seeded upstream are the sanctioned pattern.
+			if !isPkgQualified(p, sel) {
+				return true
+			}
+			if p.Escaped(sel.Pos(), "rand") {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"%s.%s bypasses the experiment seed plumbing in deterministic package %s; take a seeded *rand.Rand from stats.NewRand or workload.NewRand, or annotate //bwap:rand <reason>",
+				pkgPath, fn.Name(), basePkgPath(p.Pkg.Path()))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package bwapvet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	moduleOnce sync.Once
+	modulePkgs []*Package
+	moduleErr  error
+)
+
+// loadModule loads every package of the repository (test variants
+// included) exactly once per test binary; the go list + typecheck round
+// trip is the expensive part of these tests.
+func loadModule(t *testing.T) []*Package {
+	t.Helper()
+	moduleOnce.Do(func() {
+		modulePkgs, moduleErr = LoadPackages("../../..", "./...")
+	})
+	if moduleErr != nil {
+		t.Fatal(moduleErr)
+	}
+	return modulePkgs
+}
+
+// TestSuiteCleanOnTree is the contract the repository ships under: the
+// full analyzer suite reports nothing on the current tree. Every genuine
+// finding must be fixed or carry a reviewed //bwap: annotation before it
+// lands — this test is the same gate CI applies via go vet -vettool.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and typechecks the whole module")
+	}
+	for _, pkg := range loadModule(t) {
+		diags, err := Run(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s (%s)", pkg.Path, pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}
+
+// TestFrozenOrderCatchesBump doctors the embedded golden one pinned
+// constant at a time and proves the analyzer notices against the real
+// packages — i.e. an accidental event-kind reorder, log-schema bump, or
+// envelope-version bump cannot land silently.
+func TestFrozenOrderCatchesBump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and typechecks the whole module")
+	}
+	pkgs := loadModule(t)
+	byPath := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		if _, ok := byPath[pkg.Path]; !ok {
+			byPath[pkg.Path] = pkg
+		}
+	}
+	cases := []struct {
+		name    string
+		pkgPath string
+		pin     string // golden line to corrupt
+		doctor  string // replacement pinning a different value
+	}{
+		{"event kind order", "bwap/internal/fleet",
+			"bwap/internal/fleet.evRetune = 7", "bwap/internal/fleet.evRetune = 6"},
+		{"log schema version", "bwap/internal/fleet",
+			"bwap/internal/fleet.LogSchemaVersion = 2", "bwap/internal/fleet.LogSchemaVersion = 3"},
+		{"tuning cache envelope version", "bwap/internal/fleet",
+			"bwap/internal/fleet.tuningCacheFileVersion = 1", "bwap/internal/fleet.tuningCacheFileVersion = 2"},
+		{"tuning cache envelope kind", "bwap/internal/fleet",
+			`bwap/internal/fleet.tuningCacheFileKind = "bwap-tuning-cache"`,
+			`bwap/internal/fleet.tuningCacheFileKind = "bwap-tuning-cache-v2"`},
+		{"snapshot envelope version", "bwap/internal/cache",
+			"bwap/internal/cache.SnapshotVersion = 1", "bwap/internal/cache.SnapshotVersion = 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := byPath[tc.pkgPath]
+			if pkg == nil {
+				t.Fatalf("package %s not loaded", tc.pkgPath)
+			}
+			if !strings.Contains(frozenGolden, tc.pin) {
+				t.Fatalf("embedded golden no longer pins %q", tc.pin)
+			}
+			doctored := strings.Replace(frozenGolden, tc.pin, tc.doctor, 1)
+			diags, err := Run(pkg, []*Analyzer{NewFrozenOrder(doctored)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) != 1 {
+				t.Fatalf("doctored golden (%s): got %d diagnostics, want exactly 1: %v",
+					tc.name, len(diags), diags)
+			}
+			name := tc.pin[strings.LastIndex(tc.pin, ".")+1 : strings.Index(tc.pin, " =")]
+			if !strings.Contains(diags[0].Message, name) {
+				t.Fatalf("diagnostic does not name %s: %s", name, diags[0].Message)
+			}
+		})
+	}
+}
+
+// TestFrozenOrderCleanGolden proves the committed golden matches the tree.
+func TestFrozenOrderCleanGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and typechecks the whole module")
+	}
+	for _, pkg := range loadModule(t) {
+		diags, err := Run(pkg, []*Analyzer{FrozenOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture for the frozenorder analyzer, checked against a golden that
+// deliberately disagrees: kindC drifted (an event kind was inserted),
+// schemaVersion was bumped without updating the golden, and "gone" pins a
+// constant this package no longer declares.
+package frozen // want `frozen constant example/frozen\.gone is gone`
+
+type kind int
+
+const (
+	kindA kind = iota
+	kindB
+	kindC // want `frozen constant example/frozen\.kindC = 2, want 1 per frozen\.golden`
+)
+
+const schemaVersion = 3 // want `frozen constant example/frozen\.schemaVersion = 3, want 2 per frozen\.golden`
+
+const envelopeKind = "frozen-envelope"
+
+var _ = []any{kindA, kindB, kindC, schemaVersion, envelopeKind}

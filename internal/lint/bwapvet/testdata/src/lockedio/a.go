@@ -1,0 +1,148 @@
+// Fixture for the lockedio analyzer. The package path does not matter:
+// holding a lock across I/O is wrong everywhere.
+package locked
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+type server struct {
+	mu       sync.Mutex
+	n        int
+	onChange func(int)
+}
+
+func (s *server) badFprintf(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "n=%d\n", s.n) // want `fmt\.Fprintf performs I/O while s\.mu is held`
+}
+
+// Rendering into an in-memory buffer under the lock, writing after: the
+// approved snapshot-then-write idiom.
+func (s *server) okBuffer(w io.Writer) error {
+	s.mu.Lock()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "n=%d\n", s.n)
+	s.mu.Unlock()
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func (s *server) badLog() {
+	s.mu.Lock()
+	slog.Info("tick", "n", s.n) // want `slog\.Info performs I/O while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) badWriterMethod(w io.Writer) {
+	s.mu.Lock()
+	w.Write([]byte("x")) // want `w\.Write writes through an interface that may be a live socket`
+	s.mu.Unlock()
+}
+
+// A deferred unlock holds the lock to the end of the function.
+func (s *server) badDeferred(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	w.Write([]byte("x")) // want `w\.Write writes through an interface`
+}
+
+func (s *server) okAfterUnlock(w io.Writer) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// The spawned goroutine does not inherit the caller's lock.
+func (s *server) okGoroutine(done chan struct{}) {
+	s.mu.Lock()
+	go func() {
+		slog.Info("async")
+		close(done)
+	}()
+	s.mu.Unlock()
+}
+
+func (s *server) badCallbackField() {
+	s.mu.Lock()
+	s.onChange(s.n) // want `callback field s\.onChange invoked while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// A callback parameter is internal plumbing the caller controls: allowed.
+func (s *server) okParamCallback(op func(int)) {
+	s.mu.Lock()
+	op(s.n)
+	s.mu.Unlock()
+}
+
+var hook = func(int) {}
+
+func (s *server) badPkgHook() {
+	s.mu.Lock()
+	hook(s.n) // want `package-level func variable hook invoked while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) escapedLog() {
+	s.mu.Lock()
+	slog.Info("tick", "n", s.n) //bwap:lockedio fixture: startup-only path, no contention
+	s.mu.Unlock()
+}
+
+// A branch that unlocks and returns must not poison the merge.
+func (s *server) okBranchReturn(w io.Writer) {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(w, "n=%d\n", s.n)
+}
+
+func (s *server) badBranch(w io.Writer) {
+	s.mu.Lock()
+	if s.n > 0 {
+		fmt.Fprintf(w, "positive\n") // want `fmt\.Fprintf performs I/O while s\.mu is held`
+	}
+	s.mu.Unlock()
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+func (g *gauge) badRLock(w io.Writer) {
+	g.mu.RLock()
+	fmt.Fprintf(w, "%g\n", g.v) // want `fmt\.Fprintf performs I/O while g\.mu is held`
+	g.mu.RUnlock()
+}
+
+// The observer.go bug shape: handing an interface-typed writer to a callee
+// smuggles the socket write one frame down.
+type registry struct{}
+
+func (r *registry) Write(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "snapshot")
+	return err
+}
+
+type observer struct {
+	mu  sync.Mutex
+	reg registry
+}
+
+func (o *observer) badIndirectWrite(w io.Writer) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.reg.Write(w) // want `passes an interface-typed writer while o\.mu is held`
+}

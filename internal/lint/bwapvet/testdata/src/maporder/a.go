@@ -1,0 +1,80 @@
+// Fixture for the maporder analyzer, checked under the deterministic
+// package path bwap/internal/fleet.
+package fleet
+
+import "sort"
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration captures randomized order`
+	}
+	return keys
+}
+
+// Collect-then-sort launders map order back into a total one: allowed.
+func okSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A loop-local accumulator cannot leak iteration order past the loop.
+func okLoopLocal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		scratch := []int{}
+		scratch = append(scratch, v)
+		total += scratch[0]
+	}
+	return total
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration publishes values in randomized order`
+	}
+}
+
+type record struct{ key string }
+
+type recordLog struct{ recs []record }
+
+func (l *recordLog) append(r record) { l.recs = append(l.recs, r) }
+
+func badSink(m map[string]record, l *recordLog) {
+	for _, r := range m {
+		l.append(r) // want `l\.append called inside map iteration feeds ordered state`
+	}
+}
+
+// A closure built during iteration does not run during iteration.
+var deferred func()
+
+func okClosure(m map[string]int) {
+	var out []string
+	for k := range m {
+		deferred = func() { out = append(out, k) }
+	}
+	_ = out
+}
+
+func escapedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { //bwap:maporder fixture: consumer sorts downstream
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Ranging over a slice is ordered; nothing to flag.
+func okSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// Fixture for the seededrand analyzer, checked under the deterministic
+// package path bwap/internal/stats.
+package stats
+
+import "math/rand/v2"
+
+func badGlobal() int {
+	return rand.IntN(10) // want `math/rand/v2\.IntN bypasses the experiment seed plumbing`
+}
+
+func badConstructor(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed)) // want `math/rand/v2\.New bypasses` `math/rand/v2\.NewPCG bypasses`
+}
+
+// Methods on a stream somebody seeded upstream are the sanctioned pattern.
+func okMethods(r *rand.Rand) float64 {
+	return r.Float64() + float64(r.IntN(3))
+}
+
+func escapedConstructor(seed uint64) *rand.Rand {
+	//bwap:rand fixture: the sanctioned constructor itself
+	return rand.New(rand.NewPCG(seed, seed))
+}

@@ -1,0 +1,7 @@
+package stats
+
+import oldrand "math/rand" // want `math/rand has an unspecified stream`
+
+func badV1() int {
+	return oldrand.Int() // want `math/rand\.Int bypasses the experiment seed plumbing`
+}

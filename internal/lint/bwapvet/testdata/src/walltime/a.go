@@ -1,0 +1,42 @@
+// Fixture for the walltime analyzer, checked under the deterministic
+// package path bwap/internal/sim.
+package sim
+
+import "time"
+
+// Durations are units, not clocks: never flagged.
+const tick = 10 * time.Millisecond
+
+func scale(d time.Duration) float64 { return d.Seconds() }
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in deterministic package bwap/internal/sim`
+}
+
+func badTimer() {
+	t := time.NewTicker(tick) // want `time\.NewTicker reads the wall clock`
+	defer t.Stop()
+	time.Sleep(tick)   // want `time\.Sleep reads the wall clock`
+	<-time.After(tick) // want `time\.After reads the wall clock`
+}
+
+func escapedSameLine() time.Time {
+	return time.Now() //bwap:wallclock fixture: sanctioned for display-only timing
+}
+
+func escapedLineAbove() time.Duration {
+	//bwap:wallclock fixture: sanctioned for display-only timing
+	start := time.Now()
+	//bwap:wallclock fixture: sanctioned for display-only timing
+	return time.Since(start)
+}
+
+// A method that happens to be called Now is not the clock.
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func methodShadow() int {
+	var c clock
+	return c.Now()
+}

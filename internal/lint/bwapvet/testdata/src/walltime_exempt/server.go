@@ -1,0 +1,11 @@
+// Fixture proving the per-file exemption: server.go in bwap/internal/fleet
+// is the declared wall↔sim bridge, so its clock reads are not flagged.
+package fleet
+
+import "time"
+
+func pace() {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	<-t.C
+}

@@ -1,0 +1,12 @@
+// Fixture proving the deterministic-set gate: this package is checked
+// under bwap/cmd/bwapd, which lives on the wall-clock side of the
+// boundary, so nothing here is flagged.
+package main
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,136 @@
+package bwapvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// UnitConfig is the JSON configuration the go command writes to vet.cfg
+// for each package when driving a vet tool. The field set mirrors the
+// x/tools unitchecker protocol, which is the contract `go vet -vettool`
+// speaks: the go command typechecks nothing itself, it hands the tool file
+// lists plus export-data locations and expects diagnostics on stderr.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes analyzers against the single package described by the
+// vet.cfg file and returns the process exit code: 0 clean, 1 diagnostics
+// reported, 2 operational failure. Diagnostics and errors go to stderr in
+// the format the go command expects ("file:line:col: message").
+func RunUnit(cfgFile string, analyzers []*Analyzer) int {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkg, err := typecheckUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// Another vet run already reported the compile error.
+			writeVetx(cfg)
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The go command caches per-package "facts" via the vetx file and
+	// requires it to exist even though this suite exchanges none.
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readUnitConfig(cfgFile string) (*UnitConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	return cfg, nil
+}
+
+func writeVetx(cfg *UnitConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}
+
+// typecheckUnit parses and typechecks the one package a vet.cfg describes,
+// resolving imports through the export files the go command supplies.
+func typecheckUnit(cfg *UnitConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if resolved, ok := cfg.ImportMap[path]; ok {
+			path = resolved
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}

@@ -1,0 +1,78 @@
+package bwapvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walltime forbids reading the wall clock in deterministic packages.
+// Simulated components advance on sim time only; a single time.Now (or a
+// timer, which is a wall clock wearing a channel) makes output depend on
+// host speed and scheduling, which breaks bit-identical replay. Legitimate
+// uses — experiment harness speedup measurements, server test deadlines —
+// carry a //bwap:wallclock annotation with a reason.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/time.Since/timers in deterministic packages; " +
+		"annotate genuine wall-clock needs with //bwap:wallclock",
+	Run: runWalltime,
+}
+
+// walltimeForbidden is the set of package time functions that read or
+// schedule against the wall clock. Duration arithmetic and constants
+// (time.Millisecond, d.Seconds()) stay legal: they are units, not clocks.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+	"Sleep":     true,
+}
+
+func runWalltime(p *Pass) error {
+	if !isDeterministic(p.Pkg.Path()) {
+		return nil
+	}
+	exempt := walltimeExemptFiles[basePkgPath(p.Pkg.Path())]
+	for _, f := range p.Files {
+		if exempt[p.fileBase(f)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !walltimeForbidden[fn.Name()] {
+				return true
+			}
+			if !isPkgQualified(p, sel) {
+				return true // a method that happens to share a name
+			}
+			if p.Escaped(sel.Pos(), "wallclock") {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in deterministic package %s; use sim time, or annotate //bwap:wallclock <reason>",
+				fn.Name(), basePkgPath(p.Pkg.Path()))
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgQualified reports whether sel is a package-qualified reference
+// (pkg.Name) rather than a field or method selection.
+func isPkgQualified(p *Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := p.Info.Uses[id].(*types.PkgName)
+	return isPkg
+}

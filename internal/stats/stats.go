@@ -198,6 +198,7 @@ func Clamp(x, lo, hi float64) float64 {
 // elements in the reproduction (measurement noise, sampled traces) draw from
 // seeded generators so experiments are replayable.
 func NewRand(seed uint64) *rand.Rand {
+	//bwap:rand the sanctioned constructor: every stream the suite allows is minted here, seeded by the caller
 	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
