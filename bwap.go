@@ -348,6 +348,13 @@ func CacheMaxEntries(n int) TuningCacheOption { return fleet.CacheMaxEntries(n) 
 // is-the-outcome behaviour replay determinism wants.
 func CacheErrors() TuningCacheOption { return fleet.CacheErrors() }
 
+// ProbeWorkers sizes the cache's speculative probe pool: n > 0 allows n
+// concurrent background probes, n == 0 defaults to GOMAXPROCS, n < 0
+// disables prefetching (probes run synchronously at admission). The pool
+// width never changes any demand-side observable — logs, stats and
+// metrics are byte-identical at every setting.
+func ProbeWorkers(n int) TuningCacheOption { return fleet.ProbeWorkers(n) }
+
 // DecodeFleetLog parses a fleet's JSONL event log for replay verification.
 func DecodeFleetLog(data []byte) ([]FleetRecord, error) { return fleet.DecodeLog(data) }
 

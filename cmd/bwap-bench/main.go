@@ -1,12 +1,12 @@
 // bwap-bench runs the repository's root benchmarks and emits a
 // machine-readable JSON snapshot (ns/op, B/op, allocs/op), so the
 // performance trajectory is tracked across PRs. CI runs it with a short
-// -benchtime; the default output name BENCH_6.json follows the PR number.
+// -benchtime; the default output name BENCH_7.json follows the PR number.
 //
 // Usage:
 //
-//	bwap-bench                                  # all root benchmarks -> BENCH_6.json
-//	bwap-bench -bench 'FleetThroughputSharded' -out BENCH_6.json
+//	bwap-bench                                  # all root benchmarks -> BENCH_7.json
+//	bwap-bench -bench 'FleetThroughputSharded' -out BENCH_7.json
 //	bwap-bench -bench 'EngineTick|Solver' -benchtime 10x -out bench.json
 package main
 
@@ -44,7 +44,7 @@ func main() {
 	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "value for go test -benchtime")
 	pkgs := flag.String("pkgs", "bwap", "packages whose benchmarks to run")
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}

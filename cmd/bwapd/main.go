@@ -98,6 +98,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed for engines, probes and arrival noise")
 	simRate := flag.Float64("sim-rate", 100, "simulated seconds advanced per wall second")
 	probeScale := flag.Float64("probe-scale", fleet.DefaultProbeWorkScale, "tuning-probe work fraction")
+	probeWorkers := flag.Int("probe-workers", 0, "speculative probe pool width (0 = GOMAXPROCS, negative = no prefetching; wall-clock only, never changes a log byte)")
+	logRetention := flag.Int("log-retention", 0, "in-memory event-log mirror: 0 = full, n > 0 = most recent n records, negative = disabled (-log still streams everything)")
 	retune := flag.Float64("retune-delay", 0.5, "simulated seconds after churn before co-located jobs are re-tuned (negative disables)")
 	logPath := flag.String("log", "", "mirror the JSONL event log to this file")
 	cacheFile := flag.String("cache-file", "", "tuning-cache snapshot: loaded on boot if present, saved on shutdown")
@@ -156,7 +158,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cacheOpts []fleet.TuningCacheOption
+	cacheOpts := []fleet.TuningCacheOption{fleet.ProbeWorkers(*probeWorkers)}
 	if *cacheMax > 0 {
 		cacheOpts = append(cacheOpts, fleet.CacheMaxEntries(*cacheMax))
 	}
@@ -204,6 +206,8 @@ func main() {
 		MaxRetries:     *maxRetries,
 		Seed:           *seed,
 		ProbeWorkScale: *probeScale,
+		ProbeWorkers:   *probeWorkers,
+		LogRetention:   *logRetention,
 		Cache:          cache,
 	}
 

@@ -6,6 +6,7 @@ import (
 	"bwap/internal/mm"
 	"bwap/internal/numaapi"
 	"bwap/internal/stats"
+	"bwap/internal/topology"
 )
 
 // UserLevelWeightedInterleave is Algorithm 1 of the paper: a portable,
@@ -35,13 +36,19 @@ func UserLevelWeightedInterleave(seg *mm.Segment, weights []float64, flags mm.Fl
 	if stats.Sum(weights) <= 0 {
 		return fmt.Errorf("core: weights sum to zero")
 	}
-	w := stats.Normalize(weights)
+	// Stack scratch for the normalized weights and the sorted node order:
+	// this runs once per placement and re-placement, and a 64-entry buffer
+	// covers every Bitmask-addressable machine (append falls back to the
+	// heap beyond that).
+	var wbuf [64]float64
+	w := stats.AppendNormalized(wbuf[:0], weights)
 
 	// nodes, ordered by ascending weight (Algorithm 1's getNodeWithMinWeight
 	// iteration), over the full node set; zero-weight nodes produce
 	// zero-length sub-ranges and simply drop out first.
 	mask := numaapi.AllNodes(len(w))
-	nodes := numaapi.SortedByWeight(w, mask)
+	var nbuf [64]topology.NodeID
+	nodes := numaapi.AppendSortedByWeight(nbuf[:0], w, mask)
 
 	length := float64(seg.Length())
 	address := uint64(0)

@@ -70,7 +70,12 @@ func NewCanonicalTuner(m *topology.Machine, cfg sim.Config) *CanonicalTuner {
 }
 
 func workerKey(workers []topology.NodeID) string {
-	return numaapi.NewBitmask(workers...).String()
+	// Same bytes as NewBitmask(...).String(), rendered straight into a
+	// stack buffer: this key is derived on every DWP-weight lookup, so the
+	// node-slice/parts/join allocations of the naive rendering showed up in
+	// fleet profiles.
+	var buf [256]byte
+	return string(numaapi.NewBitmask(workers...).AppendRanges(buf[:0]))
 }
 
 // uniformAllPlacer places the probe's pages uniformly across all nodes,

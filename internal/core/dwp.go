@@ -21,7 +21,16 @@ func DWPWeights(canonical []float64, workers []topology.NodeID, dwp float64) ([]
 		return nil, fmt.Errorf("core: DWP %v out of [0,1]", dwp)
 	}
 	dwp = stats.Clamp(dwp, 0, 1)
-	isWorker := make([]bool, len(canonical))
+	// Stack scratch for the worker membership flags: DWPWeights runs per
+	// placement and per tuner step, and 64 entries cover every
+	// Bitmask-addressable machine.
+	var wbuf [64]bool
+	var isWorker []bool
+	if len(canonical) <= len(wbuf) {
+		isWorker = wbuf[:len(canonical)]
+	} else {
+		isWorker = make([]bool, len(canonical))
+	}
 	cw := 0.0
 	for _, w := range workers {
 		if int(w) < 0 || int(w) >= len(canonical) {
@@ -43,7 +52,14 @@ func DWPWeights(canonical []float64, workers []topology.NodeID, dwp float64) ([]
 			out[i] = c * (1 - dwp)
 		}
 	}
-	return stats.Normalize(out), nil
+	// Normalize in place — the same x/sum operations stats.Normalize
+	// performs, minus its fresh slice; sum > 0 is guaranteed because
+	// cw > 0 and workerScale > 0.
+	sum := stats.Sum(out)
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
 }
 
 // Params are the DWP tuner's search parameters. The paper sets n=20, c=5,

@@ -206,8 +206,11 @@ func TestEngineV2ReplaysMoreTicks(t *testing.T) {
 	if f2 <= f1 {
 		t.Fatalf("v2 replay fraction %.3f not above v1's %.3f", f2, f1)
 	}
-	if f2 < 0.32 {
-		t.Fatalf("v2 replays %.1f%% of ticks on the dense stream, want > 32%%", 100*f2)
+	// The dense stream measures ~0.678 under the snap + windowed advance;
+	// the gate sits at the honest floor with a small margin so a regression
+	// that costs more than a few points of replay share fails loudly.
+	if f2 < 0.6 {
+		t.Fatalf("v2 replays %.1f%% of ticks on the dense stream, want > 60%%", 100*f2)
 	}
 	if s2.Completed != s2.Jobs {
 		t.Fatalf("v2 run completed %d of %d jobs", s2.Completed, s2.Jobs)
@@ -224,6 +227,51 @@ func ffForcedOffEnv(t *testing.T) bool {
 		return true
 	}
 	return false
+}
+
+// TestEngineV2PhaseAwareHorizon pins the fleet-visible effect of the
+// per-phase completion bound (sim.appCompletionHorizon): a demand peak
+// the workload has already passed must stop haunting the free-run
+// windows. Two streams differ only in where a 3× demand phase sits — at
+// 5% of the work (passed almost immediately, factor 1 thereafter) or at
+// 90% (genuinely gating completion). A lifetime-peak-majorized horizon
+// sizes both runs' windows by the same factor 3; the per-phase bound
+// gives the early-peak run factor-1 windows for the ~95% of its life
+// after the boundary, which shows up as a strictly larger mean advance
+// window (AdvanceTicks/AdvanceBatches) than the late-peak run, whose
+// short windows near the end are honest.
+func TestEngineV2PhaseAwareHorizon(t *testing.T) {
+	meanWindow := func(phases []workload.Phase) float64 {
+		spec := testSpec("phased")
+		spec.Phases = phases
+		// Sparse arrivals: with few scheduled events on the heap, the
+		// completion horizon is what actually bounds the free-run windows.
+		streams := []StreamSpec{{
+			Workload: spec,
+			Arrival:  workload.ArrivalSpec{Process: workload.Periodic, Rate: 0.2, Count: 3},
+			Workers:  2, WorkScale: 0.1,
+		}}
+		f, stats := runFleet(t, v2(shardConfig(PolicyBWAP, AdmitMostFree, 2, 2, 7)), streams)
+		if stats.Completed != stats.Jobs {
+			t.Fatalf("phases %v: %d of %d jobs completed", phases, stats.Completed, stats.Jobs)
+		}
+		if stats.AdvanceBatches == 0 {
+			t.Fatal("no advance batches recorded")
+		}
+		_ = f
+		return float64(stats.AdvanceTicks) / float64(stats.AdvanceBatches)
+	}
+	late := meanWindow([]workload.Phase{
+		{AtWorkFraction: 0.9, DemandFactor: 3, LatencyFactor: 1},
+	})
+	early := meanWindow([]workload.Phase{
+		{AtWorkFraction: 0.05, DemandFactor: 3, LatencyFactor: 1},
+		{AtWorkFraction: 0.15, DemandFactor: 1, LatencyFactor: 1},
+	})
+	t.Logf("mean advance window: early-peak %.1f ticks, late-peak %.1f ticks", early, late)
+	if early <= late {
+		t.Fatalf("early-peak mean window %.1f not above late-peak %.1f; a passed peak still haunts the horizon", early, late)
+	}
 }
 
 // TestEngineV1LogFrozen pins the v1 reference bytes: the barrier engine's

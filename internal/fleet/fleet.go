@@ -134,6 +134,22 @@ type Config struct {
 	// ProbeWorkScale scales tuning-probe work volumes (default
 	// DefaultProbeWorkScale); only used when Cache is nil.
 	ProbeWorkScale float64
+	// ProbeWorkers sizes the asynchronous probe pool of the private tuning
+	// cache (only used when Cache is nil; a shared Cache carries its own
+	// pool): >= 1 bounds concurrent speculative probes, 0 selects
+	// GOMAXPROCS, < 0 disables prefetching so every probe runs inside the
+	// admission that demands it. Purely a throughput knob — the event log
+	// is byte-identical for any value (TestProbePoolDeterminism).
+	ProbeWorkers int
+	// LogRetention bounds the in-memory mirror of the event log: 0 (the
+	// default) retains every record, n > 0 retains only the most recent n
+	// records, and n < 0 disables the mirror entirely. The streaming LogW
+	// writer always receives every record, so long runs keep a complete
+	// on-disk log while holding bounded memory. LogBytes (and everything
+	// built on it: replay round-trips, log-equality tests) needs the full
+	// mirror — with retention the tail it returns lacks the leading schema
+	// record once trimming starts.
+	LogRetention int
 	// Cache optionally shares a TuningCache across fleets (and with a
 	// daemon); nil builds a private one from SimCfg/ProbeWorkScale/Seed.
 	Cache *TuningCache
@@ -161,7 +177,13 @@ func (c Config) withDefaults() Config {
 		c.Admission = AdmitMostFree
 	}
 	if c.NewMachine == nil {
-		c.NewMachine = func(int) *topology.Machine { return topology.MachineB() }
+		// One immutable topology serves every default machine: a Machine is
+		// a static description, engines only read it, and sharing pays the
+		// builder and the memoized fingerprint once per fleet instead of
+		// once per machine. A NewMachine hook keeps whatever per-index
+		// behaviour the caller wants.
+		shared := topology.MachineB()
+		c.NewMachine = func(int) *topology.Machine { return shared }
 	}
 	if c.Policy == "" {
 		c.Policy = PolicyBWAP
@@ -343,6 +365,12 @@ type Fleet struct {
 	queue   []*Job // arrived, waiting for capacity; (Arrival, ID) order
 	running int
 
+	// compScratch backs gatherComps' merged completion slice. The returned
+	// slice is consumed by the run loop before the next advance step, and
+	// gatherComps runs only on the scheduler goroutine, so one buffer per
+	// fleet is safe.
+	compScratch []*Job
+
 	// Lifecycle counters, maintained by the event handlers (scheduler
 	// goroutine only; the server mutex covers concurrent readers).
 	evacuations int
@@ -354,6 +382,11 @@ type Fleet struct {
 	now      float64
 	pool     *tickPool // live only inside a run() invocation
 	lastBusy int       // machine that vetoed the last quiescent batch
+	// batches/batchTicksSum count barrier-bound advance steps and the ticks
+	// they covered — the denominator and numerator of the mean window the
+	// horizon allows, the v2 perf signal the engine2 suite gates on.
+	batches       int64
+	batchTicksSum int64
 
 	log        eventLog
 	totalNodes int
@@ -394,8 +427,10 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	f := &Fleet{cfg: cfg, dt: dt, router: router, admission: admission, cache: cfg.Cache}
 	if f.cache == nil {
-		f.cache = NewTuningCache(cfg.SimCfg, cfg.ProbeWorkScale, cfg.Seed)
+		f.cache = NewTuningCache(cfg.SimCfg, cfg.ProbeWorkScale, cfg.Seed,
+			ProbeWorkers(cfg.ProbeWorkers))
 	}
+	f.log.retain = cfg.LogRetention
 	f.workers = cfg.Workers
 	if f.workers <= 0 {
 		f.workers = min(cfg.Shards, runtime.GOMAXPROCS(0))
@@ -480,7 +515,11 @@ func (f *Fleet) Cache() *TuningCache { return f.cache }
 // LogBytes returns the merged JSONL event log accumulated so far: the
 // interleave of every shard's record stream in global sequence order
 // (sequence numbers are assigned under the scheduler, so the merge is
-// total and independent of shard and worker counts).
+// total and independent of shard and worker counts). With
+// Config.LogRetention > 0 only the most recent records are returned (the
+// schema record trims away once the bound bites); with LogRetention < 0
+// the mirror is disabled and LogBytes returns nil — stream via
+// Config.LogW when a bounded-memory run still needs the full log.
 func (f *Fleet) LogBytes() []byte { return f.log.buf.Bytes() }
 
 // pendingEvents counts scheduled events across the arrival heap and every
@@ -567,7 +606,26 @@ func (f *Fleet) Submit(spec workload.Spec, workers int, workScale, at float64) (
 	job.sigHash = h.Sum64()
 	f.jobs = append(f.jobs, job)
 	f.push(at, evArrive, job, -1)
+	f.prefetch(job)
 	return job, nil
+}
+
+// prefetch hints the tuning cache's probe pool with the key this job's
+// admission would demand if it were placed right now: the bestFit machine
+// (the same read-only rule routing and admission compose to) and its
+// current co-runner count. The prediction may be wrong — churn between
+// the hint and the admission changes the co-runner count — in which case
+// the hinted key is simply never consumed and the admission probes its
+// real key inline, exactly as an unhinted run would; a hint can therefore
+// never perturb the demand sequence, only overlap probe work with the
+// scheduler. Cheap when wrong, free when the key is already cached.
+func (f *Fleet) prefetch(job *Job) {
+	if f.cfg.Policy != PolicyBWAP {
+		return
+	}
+	if m := bestFit(f.machines, job.Workers); m != nil {
+		f.cache.Prefetch(m.topo, job.Spec, job.Workers, len(m.active))
+	}
 }
 
 // StreamSpec is one workload class of a job stream: a spec, an arrival
@@ -624,8 +682,11 @@ func (f *Fleet) SubmitStream(streams []StreamSpec) error {
 }
 
 // Run processes the whole submitted stream to completion and returns the
-// final statistics.
+// final statistics. Before returning it waits out any probe prefetches
+// still in flight (mispredicted hints no admission consumed), so a
+// drained fleet leaves no background goroutine behind.
 func (f *Fleet) Run() (*Stats, error) {
+	defer f.cache.Quiesce()
 	if err := f.run(math.Inf(1), true); err != nil {
 		return nil, err
 	}
@@ -768,10 +829,15 @@ func (f *Fleet) quiescentBatch(t float64) int {
 // engine: v1 batches only provably quiescent windows, v2 free-runs to the
 // conservative-lookahead horizon.
 func (f *Fleet) batchTicks(t float64) int {
+	k := 0
 	if f.cfg.EngineVersion >= 2 {
-		return f.lookaheadWindow(t)
+		k = f.lookaheadWindow(t)
+	} else {
+		k = f.quiescentBatch(t)
 	}
-	return f.quiescentBatch(t)
+	f.batches++
+	f.batchTicksSum += int64(k)
+	return k
 }
 
 // lookaheadWindow is the engine-v2 window sizer: the number of ticks the
@@ -835,6 +901,10 @@ func (f *Fleet) handle(ev *event) error {
 		job.State = JobQueued
 		f.logAppend(-1, Record{T: job.Arrival, Type: "arrive", Job: job.ID, Machine: -1,
 			Workload: job.Spec.Name, Workers: job.Workers, WorkScale: job.WorkScale})
+		// Re-hint with the fleet's current state: the submit-time prediction
+		// was made before any placements, so arrival time is where queued
+		// bursts get accurate (machine, co-runner) keys into the pool.
+		f.prefetch(job)
 		admitted, err := f.tryAdmit(job)
 		if err != nil {
 			return err
@@ -1056,6 +1126,13 @@ func (f *Fleet) retune(m *machine) error {
 	// down; the survivors (if any) are only jobs already completing.
 	if len(m.active) == 0 || m.state != machineUp {
 		return nil
+	}
+	// The retune keys are exact (same machine, co-runner count fixed for
+	// the whole sweep), so hint them all before the serial consumption
+	// loop: a cold retune of n distinct signatures runs its probes
+	// pool-wide instead of one by one.
+	for _, job := range m.active {
+		f.cache.Prefetch(m.topo, job.Spec, job.Workers, len(m.active)-1)
 	}
 	s := f.shards[m.shard]
 	jobs := make([]int, 0, len(m.active))

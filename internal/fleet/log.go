@@ -76,25 +76,55 @@ type Record struct {
 // records themselves: a machine's shard changes with Config.Shards, and
 // stamping it would break the shard-count invariance of the log.
 type eventLog struct {
-	buf  bytes.Buffer
-	w    io.Writer
-	seq  int
-	errs []error
+	// buf mirrors the encoded log in memory. With retain == 0 it holds the
+	// whole log; with retain > 0 only the most recent retain lines, tracked
+	// by the lens ring (line lengths, oldest at lens[head]); with
+	// retain < 0 the mirror is disabled entirely. The streaming writer w,
+	// when set, always receives every line regardless of retention.
+	buf    bytes.Buffer
+	lens   []int
+	head   int
+	retain int
+	w      io.Writer
+	seq    int
+	// scratch is the reused encode buffer; after warmup append performs no
+	// heap allocations (TestLogAppendAllocationFree).
+	scratch []byte
+	errs    []error
 }
 
 // append assigns the next sequence number, encodes the record and appends
 // it. Encoding errors are collected rather than interrupting the
-// simulation; Err surfaces them.
+// simulation; Err surfaces them. Encoding is the hand-rolled appendRecord
+// (byte-identical to json.Marshal — see encode.go) into a reused scratch
+// buffer, keeping the per-record cost allocation-free.
 func (l *eventLog) append(rec Record) {
 	rec.Seq = l.seq
 	l.seq++
-	data, err := json.Marshal(rec)
+	data, err := appendRecord(l.scratch[:0], &rec)
+	l.scratch = data
 	if err != nil {
 		l.errs = append(l.errs, err)
 		return
 	}
 	data = append(data, '\n')
-	l.buf.Write(data)
+	l.scratch = data
+	if l.retain >= 0 {
+		l.buf.Write(data)
+		if l.retain > 0 {
+			l.lens = append(l.lens, len(data))
+			if len(l.lens)-l.head > l.retain {
+				l.buf.Next(l.lens[l.head])
+				l.head++
+				// Compact the ring once the dead prefix exceeds the live
+				// window, keeping the slice bounded at ~2×retain.
+				if l.head > l.retain {
+					l.lens = append(l.lens[:0], l.lens[l.head:]...)
+					l.head = 0
+				}
+			}
+		}
+	}
 	if l.w != nil {
 		if _, err := l.w.Write(data); err != nil {
 			l.errs = append(l.errs, err)

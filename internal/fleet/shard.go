@@ -1,7 +1,5 @@
 package fleet
 
-import "sort"
-
 // shard is one independently advanced slice of the fleet: a fixed machine
 // set (global ids preserved, assigned round-robin by id so heterogeneous
 // fleets stay balanced), its own event heap for machine-scoped events
@@ -157,14 +155,21 @@ func (f *Fleet) gatherComps() []*Job {
 	if total == 0 {
 		return nil
 	}
-	out := make([]*Job, 0, total)
+	out := f.compScratch[:0]
 	for _, s := range f.shards {
 		out = append(out, s.comps...)
 		s.comps = s.comps[:0]
 	}
-	// Each shard's scratch is already machine-ascending; a stable sort
-	// across shards keeps the per-machine admission order intact.
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	// Each shard's scratch is already machine-ascending; a stable
+	// insertion sort across shards keeps the per-machine admission order
+	// intact (equal machines never swap) without sort.SliceStable's
+	// closure and swapper allocations — completion batches are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Machine < out[j-1].Machine; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	f.compScratch = out
 	return out
 }
 

@@ -67,6 +67,13 @@ type Stats struct {
 	// A healthy steady-state fleet replays most ticks.
 	TickSolves  int64 `json:"tick_solves"`
 	TickReplays int64 `json:"tick_replays"`
+	// AdvanceBatches counts barrier-bound advance steps (each sized by
+	// batchTicks); AdvanceTicks is the total ticks those steps covered.
+	// Their ratio — the mean barrier-free window — measures how well the
+	// engine's horizon prediction amortizes the shard barrier: sharper
+	// horizons mean fewer, longer batches for the same tick sequence.
+	AdvanceBatches int64 `json:"advance_batches"`
+	AdvanceTicks   int64 `json:"advance_ticks"`
 	// LogRecords is the number of event-log lines written.
 	LogRecords int `json:"log_records"`
 }
@@ -103,19 +110,21 @@ type ShardStat struct {
 // Stats computes the current snapshot.
 func (f *Fleet) Stats() *Stats {
 	s := &Stats{
-		Policy:        f.cfg.Policy,
-		Routing:       f.router.Name(),
-		Admission:     f.admission.Name(),
-		Machines:      len(f.machines),
-		MachinesUp:    f.machinesUp(),
-		Shards:        len(f.shards),
-		Workers:       f.workers,
-		EngineVersion: f.cfg.EngineVersion,
-		SimTime:       f.now,
-		Jobs:          len(f.jobs),
-		Evacuations:   f.evacuations,
-		Retries:       f.retries,
-		LogRecords:    f.log.seq,
+		Policy:         f.cfg.Policy,
+		Routing:        f.router.Name(),
+		Admission:      f.admission.Name(),
+		Machines:       len(f.machines),
+		MachinesUp:     f.machinesUp(),
+		Shards:         len(f.shards),
+		Workers:        f.workers,
+		EngineVersion:  f.cfg.EngineVersion,
+		SimTime:        f.now,
+		Jobs:           len(f.jobs),
+		Evacuations:    f.evacuations,
+		Retries:        f.retries,
+		AdvanceBatches: f.batches,
+		AdvanceTicks:   f.batchTicksSum,
+		LogRecords:     f.log.seq,
 	}
 	cs := f.cache.Stats()
 	s.CacheEvictions = cs.Evictions

@@ -187,21 +187,32 @@ type Solver struct {
 	epoch uint64
 }
 
-// NewSolver returns a reusable solver for the system.
+// NewSolver returns a reusable solver for the system. The float64 scratch
+// and result slices are carved from one backing array (full slice
+// expressions keep them from growing into each other): the fleet scheduler
+// creates an engine — and with it a solver — per placement evaluation, so
+// construction cost is on the hot path.
 func (s *System) NewSolver() *Solver {
 	n := s.m.NumNodes()
 	rc := s.resourceCount()
+	nl := s.m.NumLinks()
+	f := make([]float64, 2*rc+3*n+nl)
+	capacity, f := f[:rc:rc], f[rc:]
+	initial, f := f[:rc:rc], f[rc:]
+	cu, f := f[:n:n], f[n:]
+	iu, f := f[:n:n], f[n:]
+	lu, f := f[:nl:nl], f[nl:]
 	return &Solver{
 		sys:      s,
-		capacity: make([]float64, rc),
-		initial:  make([]float64, rc),
+		capacity: capacity,
+		initial:  initial,
 		streams:  make([]int, n),
 		load:     make([]int32, rc),
 		res: Result{
-			ControllerUtil: make([]float64, n),
-			IngestUtil:     make([]float64, n),
-			LinkUtil:       make([]float64, s.m.NumLinks()),
-			NodeOutGBs:     make([]float64, n),
+			ControllerUtil: cu,
+			IngestUtil:     iu,
+			LinkUtil:       lu,
+			NodeOutGBs:     f,
 		},
 	}
 }

@@ -318,6 +318,11 @@ type AddressSpace struct {
 	placeEpoch uint64
 	// singleSeq caches one-node sequences so faults and binds share them.
 	singleSeq [][]topology.NodeID
+	// setSeq caches canonical multi-node sequences by bitmask, so repeated
+	// mbinds over the same set (Algorithm 1's sub-range sweeps, retunes)
+	// share one slice instead of sorting a fresh copy each call. Patterns
+	// never mutate their seq, the same invariant singleSeq relies on.
+	setSeq map[uint64][]topology.NodeID
 }
 
 // NewAddressSpace returns an empty address space for a machine with
@@ -347,6 +352,28 @@ func (as *AddressSpace) single(n topology.NodeID) []topology.NodeID {
 	return as.singleSeq[n]
 }
 
+// canonicalSet returns the shared sorted-deduplicated sequence for nodes,
+// memoized by bitmask for machines of up to 64 nodes (larger machines
+// fall back to a fresh canonicalNodeSet copy per call).
+func (as *AddressSpace) canonicalSet(nodes []topology.NodeID) []topology.NodeID {
+	var mask uint64
+	for _, n := range nodes {
+		if uint(n) >= 64 {
+			return canonicalNodeSet(nodes)
+		}
+		mask |= 1 << uint(n)
+	}
+	if set, ok := as.setSeq[mask]; ok {
+		return set
+	}
+	set := canonicalNodeSet(nodes)
+	if as.setSeq == nil {
+		as.setSeq = make(map[uint64][]topology.NodeID)
+	}
+	as.setSeq[mask] = set
+	return set
+}
+
 // AddSegment appends a segment of the given length (rounded up to a page
 // multiple). owner is SharedOwner for shared data or a node id for
 // thread-private data of the threads pinned on that node. The segment is
@@ -359,11 +386,18 @@ func (as *AddressSpace) AddSegment(name string, length uint64, owner topology.No
 		panic(fmt.Sprintf("mm: duplicate segment %q", name))
 	}
 	n := int((length + PageSize - 1) / PageSize)
+	// Algorithm 1 carves a segment into ~numNodes sub-ranges, and the
+	// rebuild scratch mirrors the live slice, so start both at a capacity
+	// that avoids growth in the common case — carved out of one backing
+	// array (the full slice expressions keep them from growing into each
+	// other).
+	runScratch := make([]run, 16)
 	s := &Segment{
 		name:      name,
 		start:     as.nextAddr,
 		pageCount: n,
-		runs:      make([]run, 1, 4),
+		runs:      runScratch[0:1:8],
+		runsAlt:   runScratch[8:8:16],
 		counts:    make([]int64, as.numNodes),
 		frac:      make([]float64, as.numNodes),
 		owner:     owner,
@@ -586,10 +620,18 @@ func (s *Segment) FaultAll(n topology.NodeID) {
 }
 
 // canonicalNodeSet sorts node ids ascending and removes duplicates,
-// mirroring the kernel's bitmask representation of an interleave set.
+// mirroring the kernel's bitmask representation of an interleave set. The
+// copy is retained by the caller's pattern, so it must be owned; the sort
+// is an insertion sort because node sets are at most machine-sized (a
+// handful of ids) and this runs on every mbind — reflection-based
+// sort.Slice dominated the fleet's placement allocation profile here.
 func canonicalNodeSet(nodes []topology.NodeID) []topology.NodeID {
-	out := append([]topology.NodeID(nil), nodes...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := append(make([]topology.NodeID, 0, len(nodes)), nodes...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	dedup := out[:0]
 	for i, n := range out {
 		if i == 0 || n != out[i-1] {
@@ -630,7 +672,6 @@ func (s *Segment) Mbind(offset, length uint64, nodes []topology.NodeID, flags Fl
 	if err := s.checkNodes(nodes); err != nil {
 		return err
 	}
-	set := canonicalNodeSet(nodes)
 	if offset >= s.Length() || length == 0 {
 		return nil
 	}
@@ -640,8 +681,11 @@ func (s *Segment) Mbind(offset, length uint64, nodes []topology.NodeID, flags Fl
 	}
 	first := int(offset / PageSize)
 	last := int((end + PageSize - 1) / PageSize)
-	if len(set) == 1 {
-		set = s.as.single(set[0]) // share the sequence so adjacent binds merge
+	var set []topology.NodeID
+	if len(nodes) == 1 {
+		set = s.as.single(nodes[0]) // share the sequence so adjacent binds merge
+	} else if set = s.as.canonicalSet(nodes); len(set) == 1 {
+		set = s.as.single(set[0])
 	}
 	s.replaceRange(first, last, pattern{kind: patSeq, origin: first, seq: set}, flags&MoveFlag != 0)
 	return nil

@@ -9,7 +9,6 @@ package numaapi
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -73,29 +72,40 @@ func (b Bitmask) Complement(n int) Bitmask { return AllNodes(n) &^ b }
 
 // String renders the mask in numactl range syntax, e.g. "0-2,5".
 func (b Bitmask) String() string {
-	nodes := b.Nodes()
-	if len(nodes) == 0 {
+	if b == 0 {
 		return ""
 	}
-	var parts []string
-	start, prev := nodes[0], nodes[0]
-	flush := func() {
-		if start == prev {
-			parts = append(parts, strconv.Itoa(int(start)))
-		} else {
-			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+	var buf [256]byte
+	return string(b.AppendRanges(buf[:0]))
+}
+
+// AppendRanges appends the numactl range rendering of b (the same bytes
+// String returns) to dst — for callers building cache keys without the
+// intermediate node slice, parts slice and join that a naive rendering
+// costs.
+func (b Bitmask) AppendRanges(dst []byte) []byte {
+	v := uint64(b)
+	first := true
+	for v != 0 {
+		start := bits.TrailingZeros64(v)
+		end := start
+		for end < 63 && v&(1<<uint(end+1)) != 0 {
+			end++
 		}
-	}
-	for _, n := range nodes[1:] {
-		if n == prev+1 {
-			prev = n
-			continue
+		if !first {
+			dst = append(dst, ',')
 		}
-		flush()
-		start, prev = n, n
+		first = false
+		dst = strconv.AppendInt(dst, int64(start), 10)
+		if end > start {
+			dst = append(dst, '-')
+			dst = strconv.AppendInt(dst, int64(end), 10)
+		}
+		// Clear [start, end]; a shift count of 64 yields 0 in Go, so the
+		// end == 63 case clears through the top bit correctly.
+		v &^= (uint64(1)<<uint(end+1) - 1) &^ (uint64(1)<<uint(start) - 1)
 	}
-	flush()
-	return strings.Join(parts, ",")
+	return dst
 }
 
 // ParseBitmask parses numactl range syntax ("0-2,5") into a mask.
@@ -168,13 +178,33 @@ func WeightedInterleaveMemory(seg *mm.Segment, weights []float64) error {
 // the iteration order of Algorithm 1 ("getNodeWithMinWeight"). Ties break
 // by node id for determinism.
 func SortedByWeight(weights []float64, mask Bitmask) []topology.NodeID {
-	nodes := mask.Nodes()
-	sort.SliceStable(nodes, func(i, j int) bool {
-		wi, wj := weights[nodes[i]], weights[nodes[j]]
-		if wi != wj {
-			return wi < wj
+	return AppendSortedByWeight(make([]topology.NodeID, 0, mask.Count()), weights, mask)
+}
+
+// AppendSortedByWeight appends the masked nodes in SortedByWeight's order
+// onto dst and returns the extended slice — the non-allocating form for
+// callers that own a scratch buffer.
+func AppendSortedByWeight(dst []topology.NodeID, weights []float64, mask Bitmask) []topology.NodeID {
+	base := len(dst)
+	for v := uint64(mask); v != 0; {
+		n := bits.TrailingZeros64(v)
+		dst = append(dst, topology.NodeID(n))
+		v &^= 1 << uint(n)
+	}
+	nodes := dst[base:]
+	// Insertion sort: masks hold at most machine-sized node counts, and
+	// this runs per placement inside Algorithm 1 — the sort.SliceStable
+	// closure and reflection swapper were measurable allocation traffic.
+	// The weight-then-id order is total, so stability is moot but
+	// insertion sort preserves it anyway.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0; j-- {
+			wi, wj := weights[nodes[j]], weights[nodes[j-1]]
+			if wi > wj || (wi == wj && nodes[j] > nodes[j-1]) {
+				break
+			}
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
 		}
-		return nodes[i] < nodes[j]
-	})
-	return nodes
+	}
+	return dst
 }

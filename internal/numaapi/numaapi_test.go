@@ -1,6 +1,9 @@
 package numaapi
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -73,6 +76,51 @@ func TestBitmaskString(t *testing.T) {
 		if got := c.mask.String(); got != c.want {
 			t.Errorf("String(%v) = %q, want %q", c.mask.Nodes(), got, c.want)
 		}
+	}
+}
+
+// referenceRangeString is the original Nodes-slice formulation of the
+// numactl range rendering, kept verbatim as an oracle for the bit-twiddling
+// AppendRanges rewrite: workerKey-style cache keys depend on the bytes not
+// drifting.
+func referenceRangeString(b Bitmask) string {
+	nodes := b.Nodes()
+	if len(nodes) == 0 {
+		return ""
+	}
+	var parts []string
+	start, prev := nodes[0], nodes[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, strconv.Itoa(int(start)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, n := range nodes[1:] {
+		if n == prev+1 {
+			prev = n
+			continue
+		}
+		flush()
+		start, prev = n, n
+	}
+	flush()
+	return strings.Join(parts, ",")
+}
+
+func TestAppendRangesMatchesReference(t *testing.T) {
+	for _, b := range []Bitmask{0, 1, Bitmask(1) << 63, ^Bitmask(0), NewBitmask(0, 2, 3, 4, 7, 63)} {
+		if got, want := string(b.AppendRanges(nil)), referenceRangeString(b); got != want {
+			t.Errorf("AppendRanges(%#x) = %q, want %q", uint64(b), got, want)
+		}
+	}
+	f := func(raw uint64) bool {
+		b := Bitmask(raw)
+		return string(b.AppendRanges(nil)) == referenceRangeString(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -41,13 +41,17 @@ type Counters struct {
 	PairBytes [][]float64
 }
 
-// NewCounters returns zeroed counters for a machine with n nodes.
+// NewCounters returns zeroed counters for a machine with n nodes. The
+// per-node slices share one backing array (full slice expressions keep the
+// rows from growing into each other): counters are created per app per
+// placement on the fleet hot path, where n+2 row allocations dominated.
 func NewCounters(n int) *Counters {
+	backing := make([]float64, n*n+n)
 	pb := make([][]float64, n)
 	for i := range pb {
-		pb[i] = make([]float64, n)
+		pb[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
-	return &Counters{NodeOutBytes: make([]float64, n), PairBytes: pb}
+	return &Counters{NodeOutBytes: backing[n*n : n*n+n : n*n+n], PairBytes: pb}
 }
 
 // Reset zeroes all counters.

@@ -75,6 +75,55 @@ func TestCompletionHorizonNeverContainsACompletion(t *testing.T) {
 	}
 }
 
+// TestCompletionHorizonPhaseAware pins the sharpening of the per-phase
+// completion bound: demand peaks the app has already moved past — an
+// expired init burst, an early high-demand phase — must no longer shrink
+// the horizon. The old bound majorized by the lifetime peak, so an app
+// that burned 3× demand in its first 5% of work kept a 3×-too-small
+// horizon for the remaining 95%. Each pair advances a phased/bursty app
+// and a plain one to the same progress point, where both provably face
+// only factor-1 demand until completion; the horizons must then agree to
+// well within the old peak factor.
+func TestCompletionHorizonPhaseAware(t *testing.T) {
+	horizonAt := func(spec workload.Spec, minFrac, minNow float64) int {
+		e := sim.New(topology.MachineB(), sim.Config{Seed: 7})
+		app := addApp(t, e, "a", spec, []topology.NodeID{0, 1}, testPlacer{"uniform-workers"})
+		if err := e.PlaceApp(app); err != nil {
+			t.Fatal(err)
+		}
+		for app.Progress()/spec.WorkGB < minFrac || e.Now() < minNow {
+			if app.Done() {
+				t.Fatalf("%s finished before reaching the probe point", spec.Name)
+			}
+			e.Step()
+		}
+		return e.CompletionHorizonTicks(1 << 20)
+	}
+
+	plain := horizonAt(ffSpec(40), 0.1, 0)
+	if plain == 0 {
+		t.Fatal("plain horizon is zero; the comparison is vacuous")
+	}
+
+	phased := ffSpec(40)
+	phased.Name = "early-peak"
+	phased.Phases = []workload.Phase{
+		{AtWorkFraction: 0.02, DemandFactor: 3, LatencyFactor: 1},
+		{AtWorkFraction: 0.08, DemandFactor: 1, LatencyFactor: 1},
+	}
+	if h := horizonAt(phased, 0.1, 0); h < plain/2 {
+		t.Errorf("passed 3x phase still shrinks the horizon: %d vs plain %d", h, plain)
+	}
+
+	bursty := ffSpec(40)
+	bursty.Name = "init-burst"
+	bursty.InitSeconds = 0.5
+	bursty.InitDemandFactor = 5
+	if h := horizonAt(bursty, 0.1, 1.0); h < plain/2 {
+		t.Errorf("expired init burst still shrinks the horizon: %d vs plain %d", h, plain)
+	}
+}
+
 // TestCompletionHorizonZeroWithHooks: hooks may mutate placement (and in
 // principle progress) mid-window, so the horizon must refuse to predict.
 func TestCompletionHorizonZeroWithHooks(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"sync"
 
 	"bwap/internal/memsys"
@@ -208,12 +209,6 @@ type App struct {
 	solvePhase   float64
 	solveKappa   float64
 	nextPhaseGB  float64
-
-	// peakPhase upper-bounds every demand factor phaseFactors can ever
-	// return for this app (computed once at AddApp); the completion-horizon
-	// prediction multiplies raw demand by it to bound progress across phase
-	// and init-burst changes without inspecting the clock.
-	peakPhase float64
 }
 
 // SharedSegment returns the app's shared-data segment (nil if the workload
@@ -392,15 +387,18 @@ func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.Node
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("sim: app %s has no workers", name)
 	}
-	seen := make(map[topology.NodeID]bool)
-	for _, w := range workers {
+	for i, w := range workers {
 		if int(w) < 0 || int(w) >= e.M.NumNodes() {
 			return nil, fmt.Errorf("sim: app %s worker %d out of range", name, w)
 		}
-		if seen[w] {
-			return nil, fmt.Errorf("sim: app %s duplicate worker %d", name, w)
+		// Worker sets are machine-sized, so a quadratic scan beats a
+		// duplicate-detection map and its allocations on the fleet's
+		// app-creation hot path.
+		for _, prev := range workers[:i] {
+			if prev == w {
+				return nil, fmt.Errorf("sim: app %s duplicate worker %d", name, w)
+			}
 		}
-		seen[w] = true
 	}
 	for _, other := range e.apps {
 		if other.Name == name {
@@ -408,22 +406,24 @@ func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.Node
 		}
 	}
 	app := &App{
-		Name:         name,
-		Spec:         spec,
-		Workers:      append([]topology.NodeID(nil), workers...),
-		Threads:      sched.PinAllCores(e.M, workers),
-		AS:           mm.NewAddressSpace(e.M.NumNodes()),
-		Counters:     perf.NewCounters(e.M.NumNodes()),
-		Background:   spec.ComputeBound,
-		placer:       placer,
-		workerIndex:  make(map[topology.NodeID]int, len(workers)),
-		index:        len(e.apps),
-		progressGB:   make([]float64, len(workers)),
-		tickByWorker: make([]float64, len(workers)),
-		workGB:       spec.WorkGB,
-		start:        e.now,
-		peakPhase:    peakPhaseFactor(spec),
+		Name:        name,
+		Spec:        spec,
+		Workers:     append([]topology.NodeID(nil), workers...),
+		Threads:     sched.PinAllCores(e.M, workers),
+		AS:          mm.NewAddressSpace(e.M.NumNodes()),
+		Counters:    perf.NewCounters(e.M.NumNodes()),
+		Background:  spec.ComputeBound,
+		placer:      placer,
+		workerIndex: make(map[topology.NodeID]int, len(workers)),
+		index:       len(e.apps),
+		workGB:      spec.WorkGB,
+		start:       e.now,
 	}
+	// Both per-worker accumulators share one backing array; the full slice
+	// expression keeps progressGB from growing into tickByWorker.
+	acc := make([]float64, 2*len(workers))
+	app.progressGB = acc[:len(workers):len(workers)]
+	app.tickByWorker = acc[len(workers):]
 	for i, w := range app.Workers {
 		app.workerIndex[w] = i
 	}
@@ -433,7 +433,9 @@ func (e *Engine) AddApp(name string, spec workload.Spec, workers []topology.Node
 	if spec.PrivateGBPerNode > 0 {
 		app.privSeg = make([]*mm.Segment, len(workers))
 		for i, w := range app.Workers {
-			app.privSeg[i] = app.AS.AddSegment(fmt.Sprintf("priv-n%d", w),
+			// Same bytes as fmt.Sprintf("priv-n%d", w) without the
+			// operand boxing; node ids are validated non-negative above.
+			app.privSeg[i] = app.AS.AddSegment("priv-n"+strconv.Itoa(int(w)),
 				uint64(spec.PrivateGBPerNode*float64(1<<30)), w)
 		}
 	}
@@ -1120,35 +1122,21 @@ func (e *Engine) QuiescentTicks(limit int) int {
 	return n
 }
 
-// peakPhaseFactor bounds phaseFactors' demand factor over the app's whole
-// lifetime: the implicit base phase (1), every declared phase, and the
-// init burst, whose pseudo-random pattern is InitDemandFactor·(0.3+1.4u)
-// with u < 1.
-func peakPhaseFactor(spec workload.Spec) float64 {
-	peak := 1.0
-	for _, ph := range spec.Phases {
-		peak = math.Max(peak, ph.DemandFactor)
-	}
-	if spec.InitSeconds > 0 {
-		peak = math.Max(peak, spec.InitDemandFactor*1.7)
-	}
-	return peak
-}
-
 // CompletionHorizonTicks returns a conservative count of upcoming ticks
 // (at most limit) that provably cannot complete any foreground app, no
 // matter what the flow solver does in between. Solved rates are
 // demand-bounded (max-min fairness never grants a flow more than it asks
-// for), migration cost and throttling only slow progress further, and
-// phaseFactors never exceeds the app's cached peakPhase — so per-worker
-// progress per tick is bounded by the worker's unthrottled peak demand,
-// and completion (every worker at its share) cannot fire before the
-// slowest worker's gap divided by that bound. Unlike QuiescentTicks this
-// needs no quiescence: solves, placement changes, phase and init
-// crossings may all happen inside the horizon; only completions cannot.
-// 0 means a completion may be imminent, or hooks could mutate apps
-// mid-window. The fleet's conservative-lookahead engine (DESIGN.md §12)
-// sizes its barrier-free windows with this bound.
+// for), and migration cost and throttling only slow progress further — so
+// per-worker progress per tick is bounded by the worker's unthrottled
+// demand under the worst demand factor actually reachable within the
+// window (see appCompletionHorizon), and completion (every worker at its
+// share) cannot fire before the slowest worker's gap divided by that
+// bound. Unlike QuiescentTicks this needs no quiescence: solves,
+// placement changes, phase and init crossings may all happen inside the
+// horizon; only completions cannot. 0 means a completion may be imminent,
+// or hooks could mutate apps mid-window. The fleet's
+// conservative-lookahead engine (DESIGN.md §12) sizes its barrier-free
+// windows with this bound.
 func (e *Engine) CompletionHorizonTicks(limit int) int {
 	if limit <= 0 || len(e.hooks) > 0 {
 		return 0
@@ -1156,35 +1144,105 @@ func (e *Engine) CompletionHorizonTicks(limit int) int {
 	// Same batch cap as QuiescentTicks: within-window float accumulation
 	// must stay far below the boundaryTicks margin.
 	n := min(limit, 1<<20)
-	dt := e.Cfg.DT
 	for _, a := range e.apps {
 		if a.done || !a.placed || a.Background {
 			continue
 		}
-		eta := a.Spec.ParallelEfficiency(len(a.Workers))
-		perThread := (a.Spec.PerThreadReadGBs() + a.Spec.PerThreadWriteGBs()) *
-			e.Cfg.DemandFactor * a.peakPhase
-		share := a.workGB / float64(len(a.Workers))
-		// Completion needs every worker at its share, so the slowest
-		// worker's provably-free ticks bound the app's completion tick.
-		slowest := 0
-		for wi := range a.Workers {
-			gap := share - a.progressGB[wi]
-			if gap <= 0 {
-				continue
-			}
-			maxDelta := perThread * float64(a.Threads[wi]) * eta * dt
-			slowest = max(slowest, boundaryTicks(gap, maxDelta))
-			if slowest >= n {
-				break
-			}
-		}
-		n = min(n, slowest)
+		n = e.appCompletionHorizon(a, n)
 		if n == 0 {
 			return 0
 		}
 	}
 	return n
+}
+
+// appCompletionHorizon bounds the ticks (at most limit) before app a can
+// possibly complete, using the per-phase demand schedule instead of a
+// single lifetime peak. It maintains fWorst, an upper bound on every
+// demand factor phaseFactors can return while total progress stays below
+// the next unfolded phase boundary:
+//
+//   - Progress is monotone, so phases behind the current one never recur;
+//     fWorst starts at the factor currently in force.
+//   - While inside the init burst, its peak (InitDemandFactor·(0.3+1.4u)
+//     with u < 1, hence ·1.7) is folded across the whole window — the
+//     burst never recurs after expiry, so later-window phase factors are
+//     already covered by the phase folding. Outside the burst it can
+//     never re-enter (e.now − a.start only grows) and is ignored.
+//
+// The loop then alternates bounding and widening: bound completion under
+// fWorst (slowest worker's gap over its demand-bounded delta); if total
+// progress — advancing at the fWorst-bounded aggregate rate, an upper
+// bound on the true rate while fWorst is valid — provably cannot reach
+// the next phase boundary within that many ticks, the bound is sound and
+// returned. Otherwise the next phase's factor is folded into fWorst and
+// the bound recomputed; the phase index strictly increases, so the loop
+// terminates. Workloads whose demand peaks late (e.g. a 3× compaction
+// phase at 90% progress) thus get horizons sized by the phases actually
+// reachable, not by the lifetime peak — wider free-run windows and fewer
+// shard-barrier entries for the same, unchanged, per-tick state sequence.
+func (e *Engine) appCompletionHorizon(a *App, limit int) int {
+	dt := e.Cfg.DT
+	eta := a.Spec.ParallelEfficiency(len(a.Workers))
+	// base is the per-thread demand-bounded progress delta per tick under a
+	// demand factor of 1; a worker's delta under fWorst is
+	// base·threads·fWorst.
+	base := (a.Spec.PerThreadReadGBs() + a.Spec.PerThreadWriteGBs()) *
+		e.Cfg.DemandFactor * eta * dt
+	share := a.workGB / float64(len(a.Workers))
+
+	phased := len(a.Spec.Phases) > 0 && a.workGB > 0
+	progress := a.Progress()
+	fWorst := 1.0
+	if phased {
+		fWorst, _ = a.Spec.PhaseAt(progress / a.workGB)
+	}
+	if e.inInit(a) {
+		fWorst = math.Max(fWorst, a.Spec.InitDemandFactor*1.7)
+	}
+	idx := len(a.Spec.Phases) // first boundary still ahead of progress
+	if phased {
+		for idx = 0; idx < len(a.Spec.Phases); idx++ {
+			if a.Spec.Phases[idx].AtWorkFraction*a.workGB > progress {
+				break
+			}
+		}
+	}
+	totalThreads := 0.0
+	for wi := range a.Workers {
+		totalThreads += float64(a.Threads[wi])
+	}
+
+	for {
+		// Completion needs every worker at its share, so the slowest
+		// worker's provably-free ticks bound the app's completion tick.
+		comp := 0
+		for wi := range a.Workers {
+			gap := share - a.progressGB[wi]
+			if gap <= 0 {
+				continue
+			}
+			comp = max(comp, boundaryTicks(gap, base*float64(a.Threads[wi])*fWorst))
+			if comp >= limit {
+				comp = limit
+				break
+			}
+		}
+		comp = min(comp, limit)
+		if comp == 0 || idx >= len(a.Spec.Phases) {
+			return comp
+		}
+		// fWorst is only valid while total progress stays below the next
+		// unfolded boundary. If the aggregate fWorst-bounded rate cannot
+		// carry progress there within comp ticks, no unfolded factor can
+		// apply inside the window and comp is sound.
+		bound := a.Spec.Phases[idx].AtWorkFraction * a.workGB
+		if boundaryTicks(bound-progress, base*totalThreads*fWorst) >= comp {
+			return comp
+		}
+		fWorst = math.Max(fWorst, a.Spec.Phases[idx].DemandFactor)
+		idx++
+	}
 }
 
 // boundaryTicks lower-bounds how many constant-delta ticks fit strictly

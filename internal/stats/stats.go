@@ -152,18 +152,24 @@ func TrimmedMean(xs []float64, c int) float64 {
 // input returns a uniform distribution of the same length (uniform over
 // zero elements being the empty slice).
 func Normalize(xs []float64) []float64 {
-	out := make([]float64, len(xs))
+	return AppendNormalized(make([]float64, 0, len(xs)), xs)
+}
+
+// AppendNormalized appends xs scaled to sum to 1 onto dst and returns the
+// extended slice — the non-allocating form of Normalize for hot paths that
+// own a scratch buffer (Algorithm 1 normalizes per placement).
+func AppendNormalized(dst, xs []float64) []float64 {
 	sum := Sum(xs)
 	if sum == 0 {
-		for i := range out {
-			out[i] = 1 / float64(len(out))
+		for range xs {
+			dst = append(dst, 1/float64(len(xs)))
 		}
-		return out
+		return dst
 	}
-	for i, x := range xs {
-		out[i] = x / sum
+	for _, x := range xs {
+		dst = append(dst, x/sum)
 	}
-	return out
+	return dst
 }
 
 // GeoMean returns the geometric mean of xs. Non-positive entries make the

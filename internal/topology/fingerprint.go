@@ -11,7 +11,17 @@ import (
 // cap. Two Machine values with identical structure fingerprint identically
 // even when their Names differ, so tuning results keyed by fingerprint are
 // shared across a fleet of same-model machines.
+//
+// A Machine is immutable once its builder returns, so the digest is
+// computed once and memoized — Fingerprint sits on the fleet scheduler's
+// cache-key hot path, where recomputing the hash dominated the allocation
+// profile.
 func (m *Machine) Fingerprint() string {
+	m.fpOnce.Do(func() { m.fp = m.fingerprint() })
+	return m.fp
+}
+
+func (m *Machine) fingerprint() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "n%d l%d i%g;", len(m.nodes), len(m.links), m.ingestGBs)
 	for _, n := range m.nodes {

@@ -12,6 +12,7 @@ package topology
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a NUMA node within a Machine. IDs are dense, starting
@@ -61,6 +62,11 @@ type Machine struct {
 	// data (load/store ports, LFBs). It must exceed the local controller
 	// bandwidth so pairwise local measurements see the controller.
 	ingestGBs float64
+	// fp memoizes Fingerprint: the structure above is immutable once the
+	// builder returns, and the digest is demanded on every tuning-cache
+	// key derivation.
+	fpOnce sync.Once
+	fp     string
 }
 
 // NumNodes returns the number of NUMA nodes.

@@ -2,24 +2,86 @@ package workload
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+	"strconv"
 )
 
 // Signature returns a stable 64-bit hex digest of every behavioural field
 // of the spec. Jobs whose specs hash identically behave identically in the
 // simulator, so the fleet scheduler's tuning cache keys placement results
 // by this signature (together with the machine's topology fingerprint).
+//
+// The digest is FNV-64a over an exact byte stream — the same bytes the
+// original fmt.Fprintf("%s|%g|...") formulation hashed, now produced with
+// strconv appends into a stack scratch buffer. Signature sits on the fleet
+// scheduler's cache-key hot path (every admission, prefetch and retune
+// derives a key), where the fmt operand boxing dominated the allocation
+// profile; TestSignatureMatchesReference pins byte-stream equality with
+// the fmt-based reference, and cache snapshots persisted under the old
+// hash stay loadable because the digests are identical.
 func (s Spec) Signature() string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%g|%g|%g|%g|%g|%g|%g|%g|%v|%g|%g",
-		s.Name, s.ReadGBs, s.WriteGBs, s.PrivateFrac, s.LatencySensitivity,
+	var scratch [16]byte
+	return string(s.AppendSignature(scratch[:0]))
+}
+
+// AppendSignature appends the Signature digest to dst and returns the
+// extended slice, for callers composing cache keys into a reused buffer
+// without materializing the intermediate string.
+func (s Spec) AppendSignature(dst []byte) []byte {
+	var scratch [192]byte
+	b := append(scratch[:0], s.Name...)
+	for _, f := range [...]float64{
+		s.ReadGBs, s.WriteGBs, s.PrivateFrac, s.LatencySensitivity,
 		s.SyncFactor, s.WorkGB, s.SharedGB, s.PrivateGBPerNode,
-		s.ComputeBound, s.InitSeconds, s.InitDemandFactor)
-	for _, ph := range s.Phases {
-		fmt.Fprintf(h, "|p%g:%g:%g", ph.AtWorkFraction, ph.DemandFactor, ph.LatencyFactor)
+	} {
+		b = append(b, '|')
+		b = strconv.AppendFloat(b, f, 'g', -1, 64)
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	b = append(b, '|')
+	b = strconv.AppendBool(b, s.ComputeBound)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, s.InitSeconds, 'g', -1, 64)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, s.InitDemandFactor, 'g', -1, 64)
+	h := fnv64a(fnvOffset64, b)
+	for _, ph := range s.Phases {
+		b = append(b[:0], '|', 'p')
+		b = strconv.AppendFloat(b, ph.AtWorkFraction, 'g', -1, 64)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, ph.DemandFactor, 'g', -1, 64)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, ph.LatencyFactor, 'g', -1, 64)
+		h = fnv64a(h, b)
+	}
+	return appendHex64(dst, h)
+}
+
+// fnvOffset64 and fnvPrime64 are the FNV-64a parameters, matching
+// hash/fnv's New64a.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a folds data into an FNV-64a running hash without the heap
+// allocation of a hash.Hash64 value.
+func fnv64a(h uint64, data []byte) uint64 {
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// appendHex64 appends h exactly like fmt.Sprintf("%016x", h): 16
+// lowercase hex digits, zero-padded.
+func appendHex64(dst []byte, h uint64) []byte {
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = "0123456789abcdef"[h&0xF]
+		h >>= 4
+	}
+	return append(dst, buf[:]...)
 }
 
 // ArrivalSpec describes when instances of a workload enter the system — the

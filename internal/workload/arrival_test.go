@@ -1,9 +1,59 @@
 package workload
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
 	"testing"
 )
+
+// referenceSignature is the original fmt-based formulation of Signature,
+// kept as the oracle for the alloc-free strconv rewrite: the two must
+// agree byte for byte on every spec, or cache snapshots persisted under
+// the old digests would silently stop matching.
+func referenceSignature(s Spec) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%g|%g|%g|%g|%g|%g|%g|%g|%v|%g|%g",
+		s.Name, s.ReadGBs, s.WriteGBs, s.PrivateFrac, s.LatencySensitivity,
+		s.SyncFactor, s.WorkGB, s.SharedGB, s.PrivateGBPerNode,
+		s.ComputeBound, s.InitSeconds, s.InitDemandFactor)
+	for _, ph := range s.Phases {
+		fmt.Fprintf(h, "|p%g:%g:%g", ph.AtWorkFraction, ph.DemandFactor, ph.LatencyFactor)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestSignatureMatchesReference pins Signature to the fmt-based oracle
+// over the full benchmark catalog plus adversarial specs (tiny, huge and
+// negative floats exercising %g's exponent switchover, long names, phase
+// lists, the init-burst fields and the bool).
+func TestSignatureMatchesReference(t *testing.T) {
+	specs := Benchmarks()
+	extra := Streamcluster
+	extra.Name = "adversarial|sig"
+	extra.ReadGBs = 1e-7
+	extra.WriteGBs = 1.25e21
+	extra.PrivateFrac = -0.125
+	extra.LatencySensitivity = 5e-324
+	extra.SyncFactor = math.MaxFloat64
+	extra.WorkGB = 123456789.000001
+	extra.ComputeBound = true
+	extra.InitSeconds = 0.5
+	extra.InitDemandFactor = 3
+	extra.Phases = []Phase{
+		{AtWorkFraction: 1e-9, DemandFactor: 2.5, LatencyFactor: 0.75},
+		{AtWorkFraction: 0.9999999999, DemandFactor: 1e20, LatencyFactor: -0},
+	}
+	specs = append(specs, extra, Spec{}, Synthetic("syn", 60, 12, 0.3, 0.1))
+	for _, s := range specs {
+		if got, want := s.Signature(), referenceSignature(s); got != want {
+			t.Errorf("%q: Signature %s, reference %s", s.Name, got, want)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { specs[0].Signature() }); allocs > 1 {
+		t.Errorf("Signature allocates %.1f times per call; want <= 1 (the returned string)", allocs)
+	}
+}
 
 func TestSignatureStableAndDiscriminating(t *testing.T) {
 	a := Streamcluster
